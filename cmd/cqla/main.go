@@ -1,0 +1,257 @@
+// Command cqla regenerates every table and figure of the CQLA paper
+// (Thaker et al., ISCA 2006) from the architecture model in this
+// repository.
+//
+// Usage:
+//
+//	cqla <experiment> [flags]
+//
+// Experiments: table1 table2 table3 table4 table5 fig2 fig6a fig6b fig7
+// fig8a fig8b all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cqla"
+	"repro/internal/des"
+	"repro/internal/ecc"
+	"repro/internal/gen"
+	"repro/internal/layout"
+	"repro/internal/phys"
+	"repro/internal/sched"
+)
+
+func main() {
+	flag.Usage = usage
+	current := flag.Bool("current", false, "use currently demonstrated ion-trap parameters instead of projected")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	p := phys.Projected()
+	if *current {
+		p = phys.Current()
+	}
+	name := strings.ToLower(flag.Arg(0))
+	experiments := map[string]func(phys.Params){
+		"table1":    table1,
+		"table2":    table2,
+		"table3":    table3,
+		"table4":    table4,
+		"table5":    table5,
+		"fig2":      fig2,
+		"fig6a":     fig6a,
+		"fig6b":     fig6b,
+		"fig7":      fig7,
+		"fig8a":     fig8a,
+		"fig8b":     fig8b,
+		"floorplan": floorplan,
+		"overlap":   overlap,
+	}
+	if name == "all" {
+		for _, k := range []string{"table1", "table2", "table3", "table4", "table5", "fig2", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "floorplan", "overlap"} {
+			fmt.Printf("==== %s ====\n", k)
+			experiments[k](p)
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := experiments[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cqla: unknown experiment %q\n\n", name)
+		usage()
+		os.Exit(2)
+	}
+	run(p)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
+
+Experiments (each regenerates one table or figure of the paper):
+  table1   physical operation parameters (Table 1)
+  table2   error-correction metric summary (Table 2)
+  table3   code-transfer network latencies (Table 3)
+  table4   CQLA specialization vs QLA for modular exponentiation (Table 4)
+  table5   memory-hierarchy speedups and gain products (Table 5)
+  fig2     parallelism profile of the 64-qubit adder (Figure 2)
+  fig6a    compute-block utilization curves (Figure 6a)
+  fig6b    superblock bandwidth crossover (Figure 6b)
+  fig7     cache hit rates, naive vs optimized fetch (Figure 7)
+  fig8a    modular exponentiation computation vs communication (Figure 8a)
+  fig8b    QFT computation vs communication (Figure 8b)
+  floorplan  ASCII floorplan of the 256-bit Bacon-Shor CQLA (Figure 3b)
+  overlap    discrete-event check of the communication-overlap claim
+  all      everything above in sequence
+`)
+}
+
+func table1(p phys.Params) {
+	fmt.Printf("Physical parameters (%s)\n", p.Name)
+	fmt.Printf("%-14s %-12s %s\n", "Operation", "Time", "Failure rate")
+	for _, op := range phys.Ops() {
+		o := p.Op(op)
+		fmt.Printf("%-14s %-12v %.3g\n", op, o.Time, o.FailureRate)
+	}
+	fmt.Printf("%-14s %-12v\n", "memory time", p.MemoryTime)
+	fmt.Printf("%-14s %g µm (%d electrodes -> %.0f µm regions)\n",
+		"trap size", p.TrapSizeMicron, p.ElectrodesPerRegion, p.RegionPitchMicron())
+	fmt.Printf("%-14s %v\n", "clock cycle", p.CycleTime)
+}
+
+func table2(p phys.Params) {
+	fmt.Printf("%-12s %-6s %-12s %-14s %-12s %-8s %-8s\n",
+		"Code", "Level", "EC time", "Transversal", "Area (mm²)", "Data", "Ancilla")
+	for _, m := range cqla.Table2Rows(p) {
+		fmt.Printf("%-12s L%-5d %-12.4g %-14.4g %-12.3g %-8d %-8d\n",
+			m.Code, m.Level, m.ECTime.Seconds(), m.TransversalGateTime.Seconds(),
+			m.AreaMM2, m.DataIons, m.AncillaIons)
+	}
+}
+
+func table3(phys.Params) {
+	encs, m := cqla.Table3Matrix()
+	fmt.Printf("%-10s", "(seconds)")
+	for _, e := range encs {
+		fmt.Printf("%-8s", e)
+	}
+	fmt.Println()
+	for i, from := range encs {
+		fmt.Printf("%-10s", from)
+		for j := range encs {
+			fmt.Printf("%-8.3g", m[i][j].Seconds())
+		}
+		fmt.Println()
+	}
+}
+
+func table4(p phys.Params) {
+	fmt.Print(cqla.FormatTable4(cqla.Table4(p)))
+}
+
+func table5(p phys.Params) {
+	fmt.Print(cqla.FormatTable5(cqla.Table5(p)))
+}
+
+func fig2(p phys.Params) {
+	m := cqla.New(cqla.Config{Code: ecc.Steane(), Params: p, ComputeBlocks: 15, ParallelTransfers: 10})
+	f := cqla.Fig2(m, 64, 15)
+	fmt.Printf("64-qubit adder: unlimited %d slots, 15 blocks %d slots (%.2fx)\n",
+		f.UnlimitedSlots, f.LimitedSlots, float64(f.LimitedSlots)/float64(f.UnlimitedSlots))
+	fmt.Println("slot  unlimited  15-blocks")
+	step := len(f.UnlimitedProfile) / 24
+	if step < 1 {
+		step = 1
+	}
+	for t := 0; t < f.LimitedSlots; t += step {
+		u, l := 0, 0
+		if t < len(f.UnlimitedProfile) {
+			u = f.UnlimitedProfile[t]
+		}
+		if t < len(f.LimitedProfile) {
+			l = f.LimitedProfile[t]
+		}
+		fmt.Printf("%-5d %-10s %-10s\n", t, bar(u), bar(l))
+	}
+}
+
+func bar(n int) string {
+	if n > 60 {
+		n = 60
+	}
+	return strings.Repeat("#", n)
+}
+
+func fig6a(p phys.Params) {
+	curves := cqla.Fig6a(p)
+	fmt.Printf("%-8s", "blocks")
+	for _, c := range curves {
+		fmt.Printf("%-9s", fmt.Sprintf("%d-bit", c.AdderSize))
+	}
+	fmt.Println()
+	for i, k := range cqla.Fig6aBlockCounts() {
+		fmt.Printf("%-8d", k)
+		for _, c := range curves {
+			fmt.Printf("%-9.3f", c.Utilizations[i])
+		}
+		fmt.Println()
+	}
+}
+
+func fig6b(phys.Params) {
+	f := cqla.Fig6b()
+	fmt.Printf("superblock crossover: %d compute blocks\n", f.Crossover)
+	fmt.Printf("%-8s %-12s %-12s %-12s\n", "blocks", "available", "req-draper", "req-worst")
+	for i, k := range f.Blocks {
+		fmt.Printf("%-8d %-12.1f %-12.1f %-12.1f\n", k, f.Available[i], f.RequiredDraper[i], f.RequiredWorst[i])
+	}
+}
+
+func fig7(p phys.Params) {
+	fmt.Printf("%-8s %-10s %-8s %-10s %-10s\n", "adder", "cache", "xPE", "naive", "optimized")
+	for _, r := range cqla.Fig7(p) {
+		fmt.Printf("%-8d %-10d %-8.1f %-10.1f %-10.1f\n",
+			r.AdderSize, r.CacheSize, r.Multiplier, 100*r.NaiveRate, 100*r.OptimRate)
+	}
+}
+
+func fig8a(p phys.Params) {
+	fmt.Printf("%-8s %-16s %-16s\n", "bits", "computation(h)", "communication(h)")
+	for _, a := range cqla.Fig8a(p) {
+		fmt.Printf("%-8d %-16.1f %-16.1f\n", a.ProblemSize, a.Computation.Hours(), a.Communication.Hours())
+	}
+}
+
+func floorplan(p phys.Params) {
+	f, err := layout.Build(layout.Config{
+		Code:          ecc.BaconShor(),
+		Params:        p,
+		InputBits:     256,
+		ComputeBlocks: 36,
+		Hierarchy:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(f.ASCII(72))
+}
+
+func overlap(p phys.Params) {
+	bs := ecc.BaconShor()
+	ad := gen.CarryLookahead(64)
+	fmt.Println("discrete-event execution of the 64-bit adder (Bacon-Shor L2, 9 blocks):")
+	fmt.Printf("%-10s %-12s %-12s %-10s %-10s\n", "channels", "makespan", "stall", "hidden", "chan-util")
+	dag := circuit.BuildDAG(ad.Circuit)
+	computeOnly := time.Duration(sched.ListSchedule(dag, 9).MakespanSlots) * bs.ECTime(2, p)
+	for _, ch := range []int{1, 2, 4, 8, 12} {
+		stats, err := des.Run(ad.Circuit, des.Config{
+			Blocks:         9,
+			Channels:       ch,
+			ResidentQubits: 2 * ad.Circuit.NumQubits(),
+			SlotTime:       bs.ECTime(2, p),
+			TransportTime:  bs.TransversalGateTime(2, p),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-12.1f %-12.1f %-10.2f %-10.2f\n",
+			ch, stats.Makespan.Seconds(), stats.StallTime.Seconds(),
+			des.CommunicationHidden(stats, computeOnly), stats.ChannelUtilization)
+	}
+	fmt.Printf("compute-only lower bound: %.1f s\n", computeOnly.Seconds())
+}
+
+func fig8b(p phys.Params) {
+	fmt.Printf("%-8s %-16s %-16s\n", "size", "computation(s)", "communication(s)")
+	for _, a := range cqla.Fig8b(p) {
+		fmt.Printf("%-8d %-16.0f %-16.0f\n", a.ProblemSize, a.Computation.Seconds(), a.Communication.Seconds())
+	}
+}

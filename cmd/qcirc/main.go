@@ -1,0 +1,175 @@
+// Command qcirc generates, analyzes, schedules and simulates logical
+// quantum circuits in the repository's line-oriented text format — the
+// "assembly language" the paper's simulator consumes.
+//
+// Usage:
+//
+//	qcirc gen   -kind adder|ripple|qft -n N     emit a circuit to stdout
+//	qcirc stats                                  read a circuit, print stats
+//	qcirc sched -blocks K                        schedule onto K blocks
+//	qcirc sim   -a X -b Y -n N -kind adder       simulate an adder
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = runGen(args)
+	case "stats":
+		err = runStats(args)
+	case "sched":
+		err = runSched(args)
+	case "sim":
+		err = runSim(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qcirc %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: qcirc <gen|stats|sched|sim> [flags]
+
+  gen   -kind adder|ripple|qft -n N    generate a circuit (text to stdout)
+  stats                                circuit stats (text from stdin)
+  sched -blocks K                      list-schedule stdin onto K blocks
+  sim   -kind adder|ripple -n N -a X -b Y   simulate an addition`)
+}
+
+func buildCircuit(kind string, n int) (*circuit.Circuit, error) {
+	switch kind {
+	case "adder":
+		return gen.CarryLookahead(n).Circuit, nil
+	case "ripple":
+		return gen.RippleCarry(n).Circuit, nil
+	case "qft":
+		return gen.QFT(n, true), nil
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "adder", "circuit kind: adder, ripple, qft")
+	n := fs.Int("n", 8, "width in bits/qubits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := buildCircuit(*kind, *n)
+	if err != nil {
+		return err
+	}
+	return circuit.Encode(os.Stdout, c)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := circuit.Decode(os.Stdin)
+	if err != nil {
+		return err
+	}
+	s := c.Stats()
+	d := circuit.BuildDAG(c)
+	fmt.Printf("qubits        %d\n", s.Qubits)
+	fmt.Printf("instructions  %d\n", s.Instructions)
+	fmt.Printf("toffolis      %d\n", s.Toffolis)
+	fmt.Printf("two-qubit     %d\n", s.TwoQubit)
+	fmt.Printf("single-qubit  %d\n", s.SingleQubit)
+	fmt.Printf("total slots   %d\n", s.TotalSlots)
+	fmt.Printf("depth (slots) %d\n", d.Depth())
+	fmt.Printf("peak parallel %d\n", d.MaxParallelism())
+	return nil
+}
+
+func runSched(args []string) error {
+	fs := flag.NewFlagSet("sched", flag.ExitOnError)
+	blocks := fs.Int("blocks", 15, "compute block budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := circuit.Decode(os.Stdin)
+	if err != nil {
+		return err
+	}
+	d := circuit.BuildDAG(c)
+	r := sched.ListSchedule(d, *blocks)
+	fmt.Printf("blocks      %d\n", *blocks)
+	fmt.Printf("makespan    %d slots (critical path %d)\n", r.MakespanSlots, d.Depth())
+	fmt.Printf("utilization %.3f\n", r.Utilization())
+	fmt.Printf("knee(2%%)    %d blocks\n", sched.KneeBlocks(d, 0.02))
+	return nil
+}
+
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	kind := fs.String("kind", "adder", "adder kind: adder, ripple")
+	n := fs.Int("n", 2, "operand width in bits")
+	a := fs.Uint64("a", 1, "first operand")
+	b := fs.Uint64("b", 2, "second operand")
+	seed := fs.Int64("seed", 1, "measurement RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ad *gen.Adder
+	switch *kind {
+	case "adder":
+		ad = gen.CarryLookahead(*n)
+	case "ripple":
+		ad = gen.RippleCarry(*n)
+	default:
+		return fmt.Errorf("unknown adder kind %q", *kind)
+	}
+	if *a >= 1<<uint(*n) || *b >= 1<<uint(*n) {
+		return fmt.Errorf("operands must fit in %d bits", *n)
+	}
+	if ad.Circuit.NumQubits() > 26 {
+		return fmt.Errorf("%d qubits exceeds the simulation budget; use a smaller -n", ad.Circuit.NumQubits())
+	}
+	var input uint64
+	for i := 0; i < ad.N; i++ {
+		if *a>>uint(i)&1 == 1 {
+			input |= 1 << uint(ad.A[i])
+		}
+		if *b>>uint(i)&1 == 1 {
+			input |= 1 << uint(ad.B[i])
+		}
+	}
+	st, err := circuit.Simulate(ad.Circuit, input, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	out, p := st.DominantBasisState()
+	var sum uint64
+	for i, q := range ad.Sum {
+		if out>>uint(q)&1 == 1 {
+			sum |= 1 << uint(i)
+		}
+	}
+	fmt.Printf("%d + %d = %d (probability %.6f, %s, %d qubits)\n",
+		*a, *b, sum, p, ad.Name, ad.Circuit.NumQubits())
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package cache simulates the CQLA's quantum qubit cache: the level-1
+// staging tier between the slow level-2 memory and the fast level-1 compute
+// region. The simulator replays a logical instruction stream (the Draper
+// adder, in the paper) against an LRU cache of logical qubits and measures
+// the operand hit rate under two instruction-fetch policies:
+//
+//   - Naive: instructions issue in program order.
+//   - Optimized: because scheduling is static, the fetch window is the
+//     whole program; the simulator builds the dependency list and always
+//     issues the ready instruction whose operands are already cached
+//     (Section 5.2: this raises the hit rate from ~20% to ~85%).
+//
+// Replacement is least-recently-used, as in the paper.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Policy selects the instruction fetch strategy.
+type Policy int
+
+const (
+	// Naive issues instructions in program order.
+	Naive Policy = iota
+	// Optimized issues ready instructions in operand-affinity order.
+	Optimized
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Naive:
+		return "naive"
+	case Optimized:
+		return "optimized"
+	default:
+		return fmt.Sprintf("cache.Policy(%d)", int(p))
+	}
+}
+
+// Config describes one cache experiment.
+type Config struct {
+	// CacheQubits is the cache capacity in logical qubits. The paper
+	// studies {1, 1.5, 2} x PE where PE is the compute-region size.
+	CacheQubits int
+	// Policy is the instruction fetch strategy.
+	Policy Policy
+}
+
+// Result reports the measured hit behaviour.
+type Result struct {
+	Config       Config
+	Instructions int
+	Accesses     int
+	Hits         int
+	// FullHits counts instructions all of whose operands were cached — the
+	// instructions that proceed without touching the transfer network.
+	FullHits int
+}
+
+// HitRate returns operand hits over operand accesses.
+func (r Result) HitRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Accesses)
+}
+
+// Misses returns operand accesses that went to level-2 memory.
+func (r Result) Misses() int { return r.Accesses - r.Hits }
+
+// lru is a fixed-capacity least-recently-used set of logical qubits.
+type lru struct {
+	capacity int
+	order    *list.List // front = most recent
+	index    map[int]*list.Element
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{capacity: capacity, order: list.New(), index: make(map[int]*list.Element)}
+}
+
+// contains reports residency without changing recency.
+func (l *lru) contains(q int) bool {
+	_, ok := l.index[q]
+	return ok
+}
+
+// touch makes q resident and most recent, evicting the LRU entry if needed.
+// It reports whether q was already resident.
+func (l *lru) touch(q int) bool {
+	if e, ok := l.index[q]; ok {
+		l.order.MoveToFront(e)
+		return true
+	}
+	if l.order.Len() >= l.capacity {
+		back := l.order.Back()
+		delete(l.index, back.Value.(int))
+		l.order.Remove(back)
+	}
+	l.index[q] = l.order.PushFront(q)
+	return false
+}
+
+// Simulate replays the circuit against the cache and returns the measured
+// hit statistics.
+func Simulate(c *circuit.Circuit, cfg Config) Result {
+	if cfg.CacheQubits < 1 {
+		panic(fmt.Sprintf("cache: capacity %d < 1", cfg.CacheQubits))
+	}
+	switch cfg.Policy {
+	case Naive:
+		return simulateOrder(c, cfg, programOrder(c))
+	case Optimized:
+		return simulateOptimized(c, cfg)
+	default:
+		panic(fmt.Sprintf("cache: unknown policy %d", int(cfg.Policy)))
+	}
+}
+
+func programOrder(c *circuit.Circuit) []int {
+	order := make([]int, c.Len())
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func simulateOrder(c *circuit.Circuit, cfg Config, order []int) Result {
+	res := Result{Config: cfg, Instructions: len(order)}
+	l := newLRU(cfg.CacheQubits)
+	for _, i := range order {
+		in := c.Instr(i)
+		full := true
+		for _, q := range in.Operands() {
+			res.Accesses++
+			if l.touch(q) {
+				res.Hits++
+			} else {
+				full = false
+			}
+		}
+		if full {
+			res.FullHits++
+		}
+	}
+	return res
+}
+
+// simulateOptimized issues instructions with the dependency-aware fetch:
+// among ready instructions it picks the one with the most cached operands
+// (then fewest uncached operands, then program order). Scanning the whole
+// ready set per issue is acceptable at the circuit sizes the study uses.
+func simulateOptimized(c *circuit.Circuit, cfg Config) Result {
+	d := circuit.BuildDAG(c)
+	res := Result{Config: cfg, Instructions: c.Len()}
+	l := newLRU(cfg.CacheQubits)
+
+	remaining := make([]int, c.Len())
+	var ready []int
+	for i := 0; i < c.Len(); i++ {
+		remaining[i] = len(d.Deps(i))
+		if remaining[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	for len(ready) > 0 {
+		bestIdx := 0
+		bestCached, bestMissing := -1, 1<<30
+		for idx, i := range ready {
+			cached := 0
+			ops := c.Instr(i).Operands()
+			for _, q := range ops {
+				if l.contains(q) {
+					cached++
+				}
+			}
+			missing := len(ops) - cached
+			if cached > bestCached || (cached == bestCached && missing < bestMissing) ||
+				(cached == bestCached && missing == bestMissing && i < ready[bestIdx]) {
+				bestIdx, bestCached, bestMissing = idx, cached, missing
+			}
+		}
+		i := ready[bestIdx]
+		ready[bestIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
+		in := c.Instr(i)
+		full := true
+		for _, q := range in.Operands() {
+			res.Accesses++
+			if l.touch(q) {
+				res.Hits++
+			} else {
+				full = false
+			}
+		}
+		if full {
+			res.FullHits++
+		}
+		for _, s := range d.Succs(i) {
+			remaining[s]--
+			if remaining[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if res.Instructions != c.Len() {
+		panic("cache: optimized fetch lost instructions")
+	}
+	return res
+}
+
+// Sweep runs the cache experiment over several capacities and both
+// policies — one adder size's worth of Figure 7 bars.
+func Sweep(c *circuit.Circuit, capacities []int) []Result {
+	var out []Result
+	for _, cap := range capacities {
+		for _, pol := range []Policy{Naive, Optimized} {
+			out = append(out, Simulate(c, Config{CacheQubits: cap, Policy: pol}))
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package circuit
+
+// DAG is the data-dependency graph of a circuit: instruction j depends on
+// instruction i when they share a qubit and i precedes j in program order
+// (quantum gates on a common qubit never commute at this modeling
+// granularity, so any shared operand serializes).
+type DAG struct {
+	c     *Circuit
+	deps  [][]int // deps[i] = indices of instructions i depends on
+	succs [][]int // succs[i] = indices of instructions depending on i
+	asap  []int   // earliest start slot of each instruction
+	depth int     // critical path length in slots
+}
+
+// BuildDAG constructs the dependency graph and ASAP schedule of c.
+func BuildDAG(c *Circuit) *DAG {
+	d := &DAG{
+		c:     c,
+		deps:  make([][]int, c.Len()),
+		succs: make([][]int, c.Len()),
+		asap:  make([]int, c.Len()),
+	}
+	last := make([]int, c.NumQubits()) // last instruction touching each qubit
+	for i := range last {
+		last[i] = -1
+	}
+	for i, in := range c.Instrs() {
+		seen := map[int]bool{}
+		for _, q := range in.Operands() {
+			if p := last[q]; p >= 0 && !seen[p] {
+				seen[p] = true
+				d.deps[i] = append(d.deps[i], p)
+				d.succs[p] = append(d.succs[p], i)
+			}
+			last[q] = i
+		}
+		start := 0
+		for _, p := range d.deps[i] {
+			if end := d.asap[p] + c.Instr(p).Slots(); end > start {
+				start = end
+			}
+		}
+		d.asap[i] = start
+		if end := start + in.Slots(); end > d.depth {
+			d.depth = end
+		}
+	}
+	return d
+}
+
+// Circuit returns the underlying circuit.
+func (d *DAG) Circuit() *Circuit { return d.c }
+
+// Deps returns the dependency list of instruction i.
+func (d *DAG) Deps(i int) []int { return d.deps[i] }
+
+// Succs returns the successors of instruction i.
+func (d *DAG) Succs(i int) []int { return d.succs[i] }
+
+// ASAPStart returns the earliest possible start slot of instruction i under
+// unlimited resources.
+func (d *DAG) ASAPStart(i int) int { return d.asap[i] }
+
+// Depth returns the critical-path length in two-qubit-gate slots: the
+// makespan achievable with unlimited compute resources. This is the
+// "Unlimited Resources" curve's extent in Figure 2.
+func (d *DAG) Depth() int { return d.depth }
+
+// TotalSlots returns the serial work of the circuit in slots.
+func (d *DAG) TotalSlots() int {
+	total := 0
+	for _, in := range d.c.Instrs() {
+		total += in.Slots()
+	}
+	return total
+}
+
+// MaxParallelism returns the peak number of simultaneously executing
+// instructions in the ASAP schedule.
+func (d *DAG) MaxParallelism() int {
+	peak := 0
+	for _, w := range d.Profile() {
+		if w > peak {
+			peak = w
+		}
+	}
+	return peak
+}
+
+// Profile returns, for each slot of the ASAP (unlimited-resource) schedule,
+// the number of instructions executing during that slot — the
+// "Unlimited Resources" series of Figure 2.
+func (d *DAG) Profile() []int {
+	prof := make([]int, d.depth)
+	for i, in := range d.c.Instrs() {
+		for t := d.asap[i]; t < d.asap[i]+in.Slots(); t++ {
+			prof[t]++
+		}
+	}
+	return prof
+}
+
+// GateLevelProfile buckets instructions by dependency level rather than by
+// slot time: level(i) = 1 + max level of dependencies. It returns the
+// number of gates at each level. This is the application-parallelism view
+// in which a Toffoli counts as one gate.
+func (d *DAG) GateLevelProfile() []int {
+	level := make([]int, d.c.Len())
+	maxLevel := 0
+	for i := range d.c.Instrs() {
+		l := 0
+		for _, p := range d.deps[i] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	prof := make([]int, maxLevel+1)
+	for _, l := range level {
+		prof[l]++
+	}
+	return prof
+}
+
+// ReadySets returns the instructions grouped by dependency level; level 0
+// instructions are initially ready. Used by the cache simulator's
+// dependency-aware fetch.
+func (d *DAG) ReadySets() [][]int {
+	level := make([]int, d.c.Len())
+	maxLevel := 0
+	for i := range d.c.Instrs() {
+		l := 0
+		for _, p := range d.deps[i] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	sets := make([][]int, maxLevel+1)
+	for i, l := range level {
+		sets[l] = append(sets[l], i)
+	}
+	return sets
+}

@@ -1,0 +1,118 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Encode writes the circuit in the line-oriented text format the paper
+// describes as its simulator input: one instruction per line, a mnemonic
+// followed by logical qubit operands ("toffoli 3 4 11"), with a header
+// line declaring the register width. Lines starting with '#' are comments.
+func Encode(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "qubits %d\n", c.NumQubits()); err != nil {
+		return err
+	}
+	for _, in := range c.Instrs() {
+		if _, err := fmt.Fprintln(bw, in.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeToString renders the circuit text format as a string.
+func EncodeToString(c *Circuit) string {
+	var sb strings.Builder
+	if err := Encode(&sb, c); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	return sb.String()
+}
+
+// Decode parses the text format produced by Encode.
+func Decode(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "qubits" {
+			if c != nil {
+				return nil, fmt.Errorf("circuit: line %d: duplicate qubits header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("circuit: line %d: malformed qubits header", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("circuit: line %d: invalid qubit count %q", lineNo, fields[1])
+			}
+			c = New(n)
+			continue
+		}
+		if c == nil {
+			return nil, fmt.Errorf("circuit: line %d: instruction before qubits header", lineNo)
+		}
+		kind, ok := kindByName(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("circuit: line %d: unknown mnemonic %q", lineNo, fields[0])
+		}
+		wantOperands := kind.Arity()
+		wantFields := 1 + wantOperands
+		if kind == CPhase {
+			wantFields++
+		}
+		if len(fields) != wantFields {
+			return nil, fmt.Errorf("circuit: line %d: %s takes %d fields, got %d", lineNo, fields[0], wantFields-1, len(fields)-1)
+		}
+		qubits := make([]int, wantOperands)
+		for i := 0; i < wantOperands; i++ {
+			q, err := strconv.Atoi(fields[1+i])
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("circuit: line %d: invalid qubit %q", lineNo, fields[1+i])
+			}
+			qubits[i] = q
+		}
+		in := NewInstr(kind, qubits...)
+		if kind == CPhase {
+			angle, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: invalid angle %q", lineNo, fields[len(fields)-1])
+			}
+			in.Angle = angle
+		}
+		c.Append(in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: missing qubits header")
+	}
+	return c, nil
+}
+
+// DecodeString parses the text format from a string.
+func DecodeString(s string) (*Circuit, error) {
+	return Decode(strings.NewReader(s))
+}
+
+func kindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindInfo[k].name == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,44 @@
+// Package core is the top-level facade over the CQLA architecture model —
+// the paper's primary contribution. It re-exposes the types of
+// internal/cqla under the canonical location so that tools and examples
+// depend on one import; the substrate packages (phys, ecc, gen, sched,
+// mesh, transfer, cache, fidelity, qla) remain directly importable for
+// finer-grained use.
+package core
+
+import (
+	"repro/internal/cqla"
+	"repro/internal/ecc"
+	"repro/internal/phys"
+)
+
+// Config selects a CQLA instance; see cqla.Config.
+type Config = cqla.Config
+
+// Machine is a configured CQLA; see cqla.Machine.
+type Machine = cqla.Machine
+
+// New constructs a Machine.
+func New(cfg Config) *Machine { return cqla.New(cfg) }
+
+// DefaultSteane returns the paper's Steane-coded CQLA at a given compute
+// block budget on projected ion-trap parameters.
+func DefaultSteane(blocks int) *Machine {
+	return cqla.New(cqla.Config{
+		Code:              ecc.Steane(),
+		Params:            phys.Projected(),
+		ComputeBlocks:     blocks,
+		ParallelTransfers: 10,
+	})
+}
+
+// DefaultBaconShor returns the paper's best configuration: Bacon-Shor
+// [[9,1,3]] regions with ten parallel memory<->cache transfers.
+func DefaultBaconShor(blocks int) *Machine {
+	return cqla.New(cqla.Config{
+		Code:              ecc.BaconShor(),
+		Params:            phys.Projected(),
+		ComputeBlocks:     blocks,
+		ParallelTransfers: 10,
+	})
+}

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+func TestDefaults(t *testing.T) {
+	st := DefaultSteane(36)
+	if st.Config().Code.Short != "[[7,1,3]]" {
+		t.Error("DefaultSteane should use the Steane code")
+	}
+	bs := DefaultBaconShor(36)
+	if bs.Config().Code.Short != "[[9,1,3]]" {
+		t.Error("DefaultBaconShor should use the Bacon-Shor code")
+	}
+	if bs.Config().ParallelTransfers != 10 {
+		t.Error("default transfer width should be 10")
+	}
+	// The headline ordering: the Bacon-Shor machine dominates on the gain
+	// product.
+	q := 5*256 + 3
+	if bs.GainProduct(256, q, true) <= st.GainProduct(256, q, true) {
+		t.Error("Bacon-Shor should dominate the gain product")
+	}
+}
+
+func TestNewPassthrough(t *testing.T) {
+	m := New(DefaultSteane(9).Config())
+	if m.Config().ComputeBlocks != 9 {
+		t.Error("config did not pass through")
+	}
+}

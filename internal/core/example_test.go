@@ -1,0 +1,22 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Example sizes the paper's best configuration for a 256-bit workload and
+// prints its headline figures of merit.
+func Example() {
+	machine := core.DefaultBaconShor(36)
+	qubits := gen.NewModExp(256).LogicalQubits()
+	fmt.Printf("area reduction: %.1fx\n", machine.AreaReduction(qubits, false))
+	fmt.Printf("L2 speedup:     %.2fx\n", machine.SpeedupL2(256))
+	fmt.Printf("gain product:   %.1f\n", machine.GainProduct(256, qubits, false))
+	// Output:
+	// area reduction: 8.3x
+	// L2 speedup:     1.92x
+	// gain product:   16.0
+}

@@ -1,0 +1,240 @@
+package cqla
+
+import (
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/phys"
+)
+
+func steaneMachine(blocks int) *Machine {
+	return New(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: blocks, ParallelTransfers: 10})
+}
+
+func bsMachine(blocks int) *Machine {
+	return New(Config{Code: ecc.BaconShor(), Params: phys.Projected(), ComputeBlocks: blocks, ParallelTransfers: 10})
+}
+
+func TestMemoryTileDenserThanComputeTile(t *testing.T) {
+	m := steaneMachine(9)
+	full := m.Config().Code.AreaMM2(2, m.Config().Params)
+	mem := m.MemoryTileAreaMM2()
+	if mem >= full {
+		t.Errorf("memory tile %.3f should be smaller than full tile %.3f", mem, full)
+	}
+	// Figure 3(a) promises at least an 8/3 density gain from the 8:1 ratio
+	// alone; our tile model additionally strips the internal fast-EC
+	// ancilla ions, so the per-data-qubit gain is larger still.
+	computePerData := 3 * full
+	ratio := computePerData / mem
+	if ratio < 8.0/3.0 {
+		t.Errorf("compute/memory density ratio = %.2f, below the 8/3 floor", ratio)
+	}
+	if ratio > 25 {
+		t.Errorf("compute/memory density ratio = %.2f, implausibly high", ratio)
+	}
+}
+
+func TestAreaScalesWithBlocksAndQubits(t *testing.T) {
+	small := steaneMachine(4)
+	big := steaneMachine(16)
+	if small.ComputeAreaMM2() >= big.ComputeAreaMM2() {
+		t.Error("compute area should grow with blocks")
+	}
+	if small.AreaMM2(100, false) >= small.AreaMM2(200, false) {
+		t.Error("area should grow with memory qubits")
+	}
+	if small.AreaMM2(100, false) >= small.AreaMM2(100, true) {
+		t.Error("hierarchy should add area")
+	}
+}
+
+func TestAreaReductionInPaperBand(t *testing.T) {
+	// Table 4 reports factors between ~3.2 and ~13.4.
+	for n, blocks := range PaperBlockCounts() {
+		q := 5*n + 3
+		for _, k := range [2]int{blocks[0], blocks[1]} {
+			st := steaneMachine(k).AreaReduction(q, false)
+			bs := bsMachine(k).AreaReduction(q, false)
+			if st < 2.5 || st > 14 {
+				t.Errorf("n=%d k=%d: Steane area factor %.2f outside band", n, k, st)
+			}
+			if bs <= st {
+				t.Errorf("n=%d k=%d: Bacon-Shor factor %.2f should beat Steane %.2f", n, k, bs, st)
+			}
+			if bs > 16 {
+				t.Errorf("n=%d k=%d: Bacon-Shor factor %.2f implausibly high", n, k, bs)
+			}
+		}
+	}
+}
+
+func TestUpToThirteenXDensity(t *testing.T) {
+	// The abstract's headline: "up to a factor of thirteen savings in area".
+	best := 0.0
+	for n, blocks := range PaperBlockCounts() {
+		q := 5*n + 3
+		if f := bsMachine(blocks[0]).AreaReduction(q, false); f > best {
+			best = f
+		}
+	}
+	if best < 9 || best > 14 {
+		t.Errorf("best Bacon-Shor area factor = %.1f, paper reports up to 13.4", best)
+	}
+}
+
+func TestSteaneSpeedupBelowOne(t *testing.T) {
+	// With Steane in both machines the CQLA can only lose time to its
+	// limited blocks: speedup in (0, 1], approaching 1 with more blocks.
+	m1 := steaneMachine(PaperBlockCounts()[256][0])
+	m2 := steaneMachine(PaperBlockCounts()[256][1])
+	s1, s2 := m1.SpeedupL2(256), m2.SpeedupL2(256)
+	if s1 <= 0 || s1 > 1.0001 || s2 <= 0 || s2 > 1.0001 {
+		t.Errorf("Steane speedups out of range: %.2f %.2f", s1, s2)
+	}
+	if s2 <= s1 {
+		t.Errorf("more blocks should be faster: %.2f vs %.2f", s1, s2)
+	}
+}
+
+func TestBaconShorSpeedupBand(t *testing.T) {
+	// Table 4: Bacon-Shor speedups 1.47-3.0 (faster error correction
+	// outruns the baseline even with few blocks).
+	for n, blocks := range PaperBlockCounts() {
+		s := bsMachine(blocks[1]).SpeedupL2(n)
+		if s < 1.2 || s > 3.2 {
+			t.Errorf("n=%d: Bacon-Shor speedup %.2f outside paper band", n, s)
+		}
+	}
+}
+
+func TestBaconShorIsThreeTimesSteane(t *testing.T) {
+	// The codes share the schedule; the ratio is the EC-time ratio (3x).
+	st := steaneMachine(36)
+	bs := bsMachine(36)
+	ratio := bs.SpeedupL2(256) / st.SpeedupL2(256)
+	if ratio < 2.9 || ratio > 3.1 {
+		t.Errorf("BS/Steane speedup ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestGainProductCombinesAreaAndSpeed(t *testing.T) {
+	m := bsMachine(36)
+	q := 5*256 + 3
+	gp := m.GainProduct(256, q, false)
+	want := m.AreaReduction(q, false) * m.SpeedupL2(256)
+	if diff := gp - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("gain product %.3f != area x speed %.3f", gp, want)
+	}
+}
+
+func TestLevel1BlocksCappedAtSuperblock(t *testing.T) {
+	if got := steaneMachine(100).Level1Blocks(); got != MaxSuperblockBlocks {
+		t.Errorf("level-1 blocks = %d, want superblock cap %d", got, MaxSuperblockBlocks)
+	}
+	if got := steaneMachine(9).Level1Blocks(); got != 9 {
+		t.Errorf("level-1 blocks = %d, want 9", got)
+	}
+}
+
+func TestTransferStallScalesWithParallelism(t *testing.T) {
+	m10 := steaneMachine(36)
+	m5 := New(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 36, ParallelTransfers: 5})
+	if m5.TransferStall() <= m10.TransferStall() {
+		t.Error("fewer parallel transfers should stall longer")
+	}
+	ratio := float64(m5.TransferStall()) / float64(m10.TransferStall())
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("stall ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestBaconShorPaysChannelPenalty(t *testing.T) {
+	// Bacon-Shor needs 3 channels per transfer, so at equal network width
+	// it completes fewer transfers per unit time; its stall advantage
+	// comes only from the cheaper Table 3 round trip.
+	st := steaneMachine(36)
+	bs := bsMachine(36)
+	// Steane round trip 1.9s at width 10; BS round trip 0.5s at width 10/3.
+	// Net: BS stall should still be smaller but by less than the 3.8x
+	// round-trip ratio.
+	ratio := float64(st.TransferStall()) / float64(bs.TransferStall())
+	if ratio < 1 || ratio > 3.8 {
+		t.Errorf("Steane/BS stall ratio = %.2f, want within (1, 3.8)", ratio)
+	}
+}
+
+func TestLevel1AdderFasterThanLevel2(t *testing.T) {
+	for _, m := range []*Machine{steaneMachine(36), bsMachine(36)} {
+		if m.AdderTimeL1(256) >= m.AdderTimeL2(256) {
+			t.Errorf("%s: level-1 adder should be faster", m.Config().Code.Short)
+		}
+	}
+}
+
+func TestSpeedupL1InPaperBand(t *testing.T) {
+	// Table 5: level-1 speedups between ~5 and ~18 at 10 parallel
+	// transfers, roughly flat across adder sizes.
+	for _, n := range Table5Sizes() {
+		k := PaperBlockCounts()[n][0]
+		st := New(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: k, ParallelTransfers: 10})
+		s := st.SpeedupL1(n)
+		if s < 5 || s > 25 {
+			t.Errorf("n=%d: Steane L1 speedup %.1f outside band", n, s)
+		}
+	}
+}
+
+func TestAdderSpeedupIsWeightedMean(t *testing.T) {
+	m := bsMachine(36)
+	want := (2*m.SpeedupL2(256) + m.SpeedupL1(256)) / 3
+	if got := m.AdderSpeedup(256); got != want {
+		t.Errorf("adder speedup %.3f != weighted mean %.3f", got, want)
+	}
+}
+
+func TestQLAAdderTimeUsesDepth(t *testing.T) {
+	m := steaneMachine(36)
+	d := m.AdderDAG(64).Depth()
+	if m.QLAAdderTime(64) != m.Baseline().AdderTime(d) {
+		t.Error("QLA adder time should be depth x baseline slot")
+	}
+}
+
+func TestSlotTimes(t *testing.T) {
+	m := steaneMachine(9)
+	if m.SlotTime(1) >= m.SlotTime(2) {
+		t.Error("level-1 slots must be faster than level-2")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []func(){
+		func() { New(Config{Code: nil, Params: phys.Projected(), ComputeBlocks: 4}) },
+		func() { New(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Zero parallel transfers is normalized to 1 rather than rejected.
+	m := New(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 4})
+	if m.Config().ParallelTransfers != 1 {
+		t.Error("parallel transfers should default to 1")
+	}
+}
+
+func TestAdderMemoization(t *testing.T) {
+	m := steaneMachine(9)
+	d1 := m.AdderDAG(64)
+	d2 := m.AdderDAG(64)
+	if d1 != d2 {
+		t.Error("adder DAG should be memoized")
+	}
+}

@@ -1,0 +1,343 @@
+// Package des is a discrete-event simulator for the CQLA executing a
+// logical circuit. Where internal/sched computes idealized makespans, des
+// models the machine's resources explicitly: compute blocks execute
+// instructions, teleportation channels move operands from memory into the
+// compute region, and a bounded residency set (compute blocks plus cache)
+// evicts cold qubits back to memory. It measures how much communication
+// actually hides beneath error-correction-dominated computation — the
+// paper's "quantum computers do not suffer from the memory wall" claim.
+package des
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+)
+
+// Config describes the machine the circuit runs on.
+type Config struct {
+	// Blocks is the number of compute blocks (concurrent instructions).
+	Blocks int
+	// Channels is the number of teleportation channels into the compute
+	// region (concurrent operand transports).
+	Channels int
+	// ResidentQubits is the logical-qubit capacity of the compute region
+	// plus cache; beyond it, least-recently-used qubits are evicted to
+	// memory and must be re-fetched.
+	ResidentQubits int
+	// SlotTime is the duration of one two-qubit-gate slot (the error
+	// correction following each logical gate).
+	SlotTime time.Duration
+	// TransportTime is the duration of one logical-qubit teleport between
+	// memory and the compute region.
+	TransportTime time.Duration
+}
+
+// Stats reports the simulated execution.
+type Stats struct {
+	Makespan    time.Duration
+	ComputeBusy time.Duration // summed instruction execution time
+	Transports  int           // operand fetches from memory
+	// TransportBusy is the summed channel occupancy.
+	TransportBusy time.Duration
+	// StallTime integrates (over time) the number of instructions that
+	// were dependency-ready with a free block available but waiting on
+	// operand transport.
+	StallTime time.Duration
+	// BlockUtilization is ComputeBusy / (Blocks x Makespan).
+	BlockUtilization float64
+	// ChannelUtilization is TransportBusy / (Channels x Makespan).
+	ChannelUtilization float64
+}
+
+type eventKind int
+
+const (
+	evInstrDone eventKind = iota
+	evFetchDone
+)
+
+type event struct {
+	at   time.Duration
+	kind eventKind
+	id   int // instruction index or fetched qubit
+	seq  int // tiebreaker for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// residency tracks which logical qubits are inside the compute region,
+// with LRU eviction over unpinned qubits.
+type residency struct {
+	capacity int
+	order    *list.List
+	index    map[int]*list.Element
+	pins     map[int]int
+}
+
+func newResidency(capacity int) *residency {
+	return &residency{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[int]*list.Element),
+		pins:     make(map[int]int),
+	}
+}
+
+func (r *residency) contains(q int) bool { _, ok := r.index[q]; return ok }
+
+func (r *residency) touch(q int) {
+	if e, ok := r.index[q]; ok {
+		r.order.MoveToFront(e)
+	}
+}
+
+// admit inserts q, evicting the LRU unpinned qubit if over capacity. It
+// reports false when no eviction candidate exists (capacity exhausted by
+// pinned qubits) — the caller must retry after pins release.
+func (r *residency) admit(q int) bool {
+	if r.contains(q) {
+		r.touch(q)
+		return true
+	}
+	for r.order.Len() >= r.capacity {
+		victim := -1
+		for e := r.order.Back(); e != nil; e = e.Prev() {
+			cand := e.Value.(int)
+			if r.pins[cand] == 0 {
+				victim = cand
+				break
+			}
+		}
+		if victim < 0 {
+			return false
+		}
+		r.order.Remove(r.index[victim])
+		delete(r.index, victim)
+	}
+	r.index[q] = r.order.PushFront(q)
+	return true
+}
+
+func (r *residency) pin(q int)   { r.pins[q]++ }
+func (r *residency) unpin(q int) { r.pins[q]-- }
+
+// Run simulates the circuit on the configured machine and returns the
+// measured statistics. All qubits start in memory.
+func Run(c *circuit.Circuit, cfg Config) (Stats, error) {
+	if cfg.Blocks < 1 || cfg.Channels < 1 {
+		return Stats{}, fmt.Errorf("des: need at least one block and one channel")
+	}
+	if cfg.ResidentQubits < 3 {
+		return Stats{}, fmt.Errorf("des: residency capacity %d cannot hold a Toffoli's operands", cfg.ResidentQubits)
+	}
+	if cfg.SlotTime <= 0 || cfg.TransportTime < 0 {
+		return Stats{}, fmt.Errorf("des: invalid timing %v/%v", cfg.SlotTime, cfg.TransportTime)
+	}
+	d := circuit.BuildDAG(c)
+	n := c.Len()
+
+	// Staging window: only a bounded number of dependency-ready
+	// instructions hold operand pins at once, which keeps pin pressure
+	// below the residency capacity and guarantees forward progress.
+	winCap := cfg.ResidentQubits/3 - cfg.Blocks
+	if winCap < 1 {
+		winCap = 1
+	}
+
+	remaining := make([]int, n) // unmet dependencies
+	missing := make([]int, n)   // operands not yet resident (window members)
+	pending := []int{}          // dependency-ready, not yet staged
+	window := 0                 // staged instructions currently holding pins
+	fetchQueue := []int{}       // qubits waiting for a channel
+	readyRun := []int{}         // staged with all operands resident
+	inFetch := map[int][]int{}  // qubit -> staged instructions awaiting it
+	res := newResidency(cfg.ResidentQubits)
+	var events eventQueue
+	seq := 0
+	now := time.Duration(0)
+	freeBlocks := cfg.Blocks
+	freeChannels := cfg.Channels
+	stats := Stats{}
+	done := 0
+	lastStallCheck := time.Duration(0)
+	stalledInstrs := 0
+
+	push := func(at time.Duration, kind eventKind, id int) {
+		seq++
+		heap.Push(&events, event{at: at, kind: kind, id: id, seq: seq})
+	}
+
+	// stage admits pending instructions into the window, pinning their
+	// operands and enqueueing fetches for the missing ones.
+	stage := func() {
+		for window < winCap && len(pending) > 0 {
+			i := pending[0]
+			pending = pending[1:]
+			window++
+			miss := 0
+			for _, q := range c.Instr(i).Operands() {
+				res.pin(q)
+				if res.contains(q) {
+					res.touch(q)
+					continue
+				}
+				miss++
+				waiters := inFetch[q]
+				inFetch[q] = append(waiters, i)
+				if len(waiters) == 0 {
+					fetchQueue = append(fetchQueue, q)
+				}
+			}
+			missing[i] = miss
+			if miss == 0 {
+				readyRun = append(readyRun, i)
+			}
+		}
+	}
+
+	startFetches := func() {
+		for freeChannels > 0 && len(fetchQueue) > 0 {
+			q := fetchQueue[0]
+			if !res.admit(q) {
+				break // all residents pinned; retried after pins release
+			}
+			fetchQueue = fetchQueue[1:]
+			freeChannels--
+			stats.Transports++
+			stats.TransportBusy += cfg.TransportTime
+			push(now+cfg.TransportTime, evFetchDone, q)
+		}
+	}
+
+	startInstrs := func() {
+		for freeBlocks > 0 && len(readyRun) > 0 {
+			i := readyRun[0]
+			readyRun = readyRun[1:]
+			window-- // leaves the staging window; pins persist until done
+			freeBlocks--
+			dur := time.Duration(c.Instr(i).Slots()) * cfg.SlotTime
+			stats.ComputeBusy += dur
+			push(now+dur, evInstrDone, i)
+		}
+	}
+
+	accountStall := func(t time.Duration) {
+		if stalled := stalledInstrs; stalled > 0 && freeBlocks > 0 {
+			win := t - lastStallCheck
+			m := stalled
+			if m > freeBlocks {
+				m = freeBlocks
+			}
+			stats.StallTime += time.Duration(m) * win
+		}
+		lastStallCheck = t
+	}
+
+	pump := func() {
+		// Iterate to a fixed point: staging can unblock fetches, fetch
+		// admission can unblock staging.
+		for {
+			before := len(fetchQueue) + len(readyRun) + len(pending) + freeBlocks + freeChannels
+			stage()
+			startFetches()
+			startInstrs()
+			after := len(fetchQueue) + len(readyRun) + len(pending) + freeBlocks + freeChannels
+			if before == after {
+				return
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		remaining[i] = len(d.Deps(i))
+		if remaining[i] == 0 {
+			pending = append(pending, i)
+		}
+	}
+	pump()
+	stalledInstrs = len(pending) + window
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		accountStall(ev.at)
+		now = ev.at
+		switch ev.kind {
+		case evFetchDone:
+			freeChannels++
+			q := ev.id
+			waiters := inFetch[q]
+			delete(inFetch, q)
+			for _, i := range waiters {
+				missing[i]--
+				if missing[i] == 0 {
+					readyRun = append(readyRun, i)
+				}
+			}
+		case evInstrDone:
+			freeBlocks++
+			done++
+			i := ev.id
+			for _, q := range c.Instr(i).Operands() {
+				res.unpin(q)
+			}
+			for _, s := range d.Succs(i) {
+				remaining[s]--
+				if remaining[s] == 0 {
+					pending = append(pending, s)
+				}
+			}
+		}
+		pump()
+		stalledInstrs = len(pending) + window
+		if events.Len() == 0 && done < n {
+			return Stats{}, fmt.Errorf("des: deadlock after %d/%d instructions", done, n)
+		}
+	}
+	stats.Makespan = now
+	if stats.Makespan > 0 {
+		stats.BlockUtilization = float64(stats.ComputeBusy) / float64(int(cfg.Blocks)*int(stats.Makespan))
+		stats.ChannelUtilization = float64(stats.TransportBusy) / float64(int(cfg.Channels)*int(stats.Makespan))
+	}
+	if done != n {
+		return Stats{}, fmt.Errorf("des: finished %d of %d instructions", done, n)
+	}
+	return stats, nil
+}
+
+// CommunicationHidden returns the fraction of transport time that did not
+// extend the makespan beyond the compute-only lower bound: 1 means
+// communication fully overlapped with computation.
+func CommunicationHidden(s Stats, computeOnly time.Duration) float64 {
+	if s.TransportBusy == 0 {
+		return 1
+	}
+	exposed := s.Makespan - computeOnly
+	if exposed < 0 {
+		exposed = 0
+	}
+	if exposed >= s.TransportBusy {
+		return 0
+	}
+	return 1 - float64(exposed)/float64(s.TransportBusy)
+}

@@ -1,0 +1,183 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2"
+)
+
+func TestCodesValidate(t *testing.T) {
+	for _, c := range Codes() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCodeParameters(t *testing.T) {
+	st := Steane()
+	if st.N != 7 || st.K != 1 || st.D != 3 {
+		t.Errorf("Steane params [[%d,%d,%d]]", st.N, st.K, st.D)
+	}
+	bs := BaconShor()
+	if bs.N != 9 || bs.K != 1 || bs.D != 3 {
+		t.Errorf("Bacon-Shor params [[%d,%d,%d]]", bs.N, bs.K, bs.D)
+	}
+}
+
+func TestDistanceThreeCorrectsAllWeight1(t *testing.T) {
+	for _, c := range Codes() {
+		if !c.CorrectsAllWeight1() {
+			t.Errorf("%s fails on a weight-1 error", c.Name)
+		}
+	}
+}
+
+func TestSomeWeight2ErrorsFail(t *testing.T) {
+	// Distance 3 means weight-2 errors cannot all be corrected.
+	for _, c := range Codes() {
+		if c.Weight2FailureCount() == 0 {
+			t.Errorf("%s corrected every weight-2 error; distance would be >= 5", c.Name)
+		}
+	}
+}
+
+func TestZeroSyndromeZeroCorrection(t *testing.T) {
+	for _, c := range Codes() {
+		zero := gf2.NewVec(c.HZ.Rows())
+		if !c.DecodeX(zero).IsZero() {
+			t.Errorf("%s: trivial syndrome got nonzero X correction", c.Name)
+		}
+		zeroX := gf2.NewVec(c.HX.Rows())
+		if !c.DecodeZ(zeroX).IsZero() {
+			t.Errorf("%s: trivial syndrome got nonzero Z correction", c.Name)
+		}
+	}
+}
+
+func TestStabilizerErrorsAreHarmless(t *testing.T) {
+	// An "error" equal to a stabilizer generator is not an error at all:
+	// the decoder must return a residual that is not a logical fault.
+	for _, c := range Codes() {
+		for i := 0; i < c.HZ.Rows(); i++ {
+			// Z-type generator as a Z error.
+			if _, fault := c.CorrectZ(c.HZ.Row(i).Clone()); fault {
+				t.Errorf("%s: Z-stabilizer %d decoded to a logical fault", c.Name, i)
+			}
+		}
+		for i := 0; i < c.HX.Rows(); i++ {
+			if _, fault := c.CorrectX(c.HX.Row(i).Clone()); fault {
+				t.Errorf("%s: X-stabilizer %d decoded to a logical fault", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestLogicalOperatorIsDetectedAsFault(t *testing.T) {
+	// Injecting a bare logical operator has trivial syndrome and must
+	// register as a logical fault.
+	for _, c := range Codes() {
+		if !c.SyndromeX(c.LX).IsZero() {
+			t.Errorf("%s: logical X has nonzero syndrome", c.Name)
+		}
+		if _, fault := c.CorrectX(c.LX.Clone()); !fault {
+			t.Errorf("%s: logical X not flagged as fault", c.Name)
+		}
+		if !c.SyndromeZ(c.LZ).IsZero() {
+			t.Errorf("%s: logical Z has nonzero syndrome", c.Name)
+		}
+		if _, fault := c.CorrectZ(c.LZ.Clone()); !fault {
+			t.Errorf("%s: logical Z not flagged as fault", c.Name)
+		}
+	}
+}
+
+// Property: the decoder's correction always reproduces the observed
+// syndrome, for arbitrary error patterns.
+func TestDecoderMatchesSyndromeProperty(t *testing.T) {
+	for _, c := range Codes() {
+		c := c
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			e := gf2.NewVec(c.N)
+			for q := 0; q < c.N; q++ {
+				if rng.Intn(2) == 1 {
+					e.Set(q, true)
+				}
+			}
+			s := c.SyndromeX(e)
+			cor := c.DecodeX(s)
+			return c.SyndromeX(cor).Equal(s)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+// Property: residual after correction always has trivial syndrome.
+func TestResidualHasTrivialSyndromeProperty(t *testing.T) {
+	for _, c := range Codes() {
+		c := c
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			e := gf2.NewVec(c.N)
+			for q := 0; q < c.N; q++ {
+				if rng.Intn(3) == 0 {
+					e.Set(q, true)
+				}
+			}
+			residual, _ := c.CorrectX(e)
+			return c.SyndromeX(residual).IsZero()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestMonteCarloSuppression(t *testing.T) {
+	// Below threshold the logical rate must be well below the physical
+	// rate, and must drop superlinearly as p decreases.
+	rng := rand.New(rand.NewSource(42))
+	for _, c := range Codes() {
+		hi := c.MonteCarloX(0.02, 200000, rng)
+		lo := c.MonteCarloX(0.002, 200000, rng)
+		if hi.LogicalRate() >= hi.PhysicalRate {
+			t.Errorf("%s: logical rate %.5f not below physical %.5f", c.Name, hi.LogicalRate(), hi.PhysicalRate)
+		}
+		// Quadratic suppression: a 10x drop in p should give ~100x drop in
+		// logical rate; allow a generous factor for MC noise.
+		if lo.LogicalRate() > hi.LogicalRate()/20 {
+			t.Errorf("%s: suppression too weak: %.6f -> %.6f", c.Name, hi.LogicalRate(), lo.LogicalRate())
+		}
+	}
+}
+
+func TestMonteCarloZeroErrorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range Codes() {
+		res := c.MonteCarloZ(0, 1000, rng)
+		if res.LogicalFaults != 0 {
+			t.Errorf("%s: faults with zero physical error rate", c.Name)
+		}
+	}
+}
+
+func TestChannelsRequired(t *testing.T) {
+	// Section 5.1: one channel suffices for Steane, Bacon-Shor needs three.
+	if got := Steane().ChannelsRequired(); got != 1 {
+		t.Errorf("Steane channels = %d, want 1", got)
+	}
+	if got := BaconShor().ChannelsRequired(); got != 3 {
+		t.Errorf("Bacon-Shor channels = %d, want 3", got)
+	}
+}
+
+func TestTeleportDataQubits(t *testing.T) {
+	if Steane().TeleportDataQubits() != 7 || BaconShor().TeleportDataQubits() != 9 {
+		t.Error("teleport data-qubit counts do not match block sizes")
+	}
+}

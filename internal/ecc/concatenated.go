@@ -1,0 +1,67 @@
+package ecc
+
+import (
+	"math/rand"
+
+	"repro/internal/gf2"
+)
+
+// ConcatenatedMonteCarloX estimates the logical X failure rate of this code
+// concatenated to the given level, by hierarchical sampling: a level-L
+// block consists of N level-(L-1) blocks, each of which fails independently
+// with the empirically sampled lower-level rate; the level-L decoder then
+// corrects the pattern of sub-block faults. Level 0 "blocks" are physical
+// qubits failing with probability p.
+//
+// This is the code-capacity concatenation experiment that backs the
+// double-exponential reliability claim the CQLA's level-mixing relies on:
+// each added level squares the (normalized) failure probability.
+func (c *Code) ConcatenatedMonteCarloX(level int, p float64, trials int, rng *rand.Rand) MonteCarloResult {
+	if level < 1 {
+		panic("ecc: concatenation level must be >= 1")
+	}
+	res := MonteCarloResult{Trials: trials, PhysicalRate: p}
+	for t := 0; t < trials; t++ {
+		if c.sampleBlockFaultX(level, p, rng) {
+			res.LogicalFaults++
+		}
+	}
+	return res
+}
+
+// sampleBlockFaultX samples whether one level-`level` block suffers a
+// logical X fault, by recursively sampling its sub-blocks and decoding.
+func (c *Code) sampleBlockFaultX(level int, p float64, rng *rand.Rand) bool {
+	e := gf2.NewVec(c.N)
+	for q := 0; q < c.N; q++ {
+		var failed bool
+		if level == 1 {
+			failed = rng.Float64() < p
+		} else {
+			failed = c.sampleBlockFaultX(level-1, p, rng)
+		}
+		if failed {
+			e.Set(q, true)
+		}
+	}
+	_, fault := c.CorrectX(e)
+	return fault
+}
+
+// PseudoThresholdX estimates the code's level-1 pseudo-threshold for X
+// errors: the physical rate at which one level of encoding stops helping
+// (logical rate equals physical rate). It bisects on the Monte Carlo
+// estimate; trials bounds the per-point sample count.
+func (c *Code) PseudoThresholdX(trials int, rng *rand.Rand) float64 {
+	lo, hi := 1e-4, 0.5
+	for i := 0; i < 18; i++ {
+		mid := (lo + hi) / 2
+		r := c.MonteCarloX(mid, trials, rng)
+		if r.LogicalRate() < mid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

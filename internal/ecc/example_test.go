@@ -1,0 +1,39 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/gf2"
+	"repro/internal/phys"
+)
+
+func mustVec(s string) gf2.Vec {
+	v, err := gf2.VecFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Example regenerates the headline rows of Table 2.
+func Example() {
+	p := phys.Projected()
+	for _, c := range ecc.Codes() {
+		fmt.Printf("%s: L2 EC %.2g s, area %.2g mm²\n",
+			c.Short, c.ECTime(2, p).Seconds(), c.AreaMM2(2, p))
+	}
+	// Output:
+	// [[7,1,3]]: L2 EC 0.3 s, area 3.4 mm²
+	// [[9,1,3]]: L2 EC 0.1 s, area 2.4 mm²
+}
+
+// ExampleCode_CorrectX shows single-error correction on the Steane code.
+func ExampleCode_CorrectX() {
+	c := ecc.Steane()
+	e := mustVec("0010000") // X error on qubit 2
+	residual, fault := c.CorrectX(e)
+	fmt.Printf("residual weight: %d, logical fault: %v\n", residual.Weight(), fault)
+	// Output:
+	// residual weight: 0, logical fault: false
+}

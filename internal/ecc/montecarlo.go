@@ -1,0 +1,89 @@
+package ecc
+
+import (
+	"math/rand"
+
+	"repro/internal/gf2"
+)
+
+// MonteCarloResult summarizes a Pauli-frame error-injection experiment.
+type MonteCarloResult struct {
+	Trials        int
+	PhysicalRate  float64
+	LogicalFaults int
+}
+
+// LogicalRate returns the observed logical fault probability.
+func (r MonteCarloResult) LogicalRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.LogicalFaults) / float64(r.Trials)
+}
+
+// MonteCarloX injects independent X errors with probability p on each
+// physical qubit of one code block, runs the decoder, and counts logical
+// faults. It is a code-capacity (perfect-syndrome-extraction) model: enough
+// to validate the distance of the code and the quadratic suppression of
+// logical errors below threshold, which is what the concatenation math of
+// the architecture model relies on.
+func (c *Code) MonteCarloX(p float64, trials int, rng *rand.Rand) MonteCarloResult {
+	return c.monteCarlo(p, trials, rng, c.CorrectX)
+}
+
+// MonteCarloZ is MonteCarloX for phase-flip errors.
+func (c *Code) MonteCarloZ(p float64, trials int, rng *rand.Rand) MonteCarloResult {
+	return c.monteCarlo(p, trials, rng, c.CorrectZ)
+}
+
+func (c *Code) monteCarlo(p float64, trials int, rng *rand.Rand, correct func(gf2.Vec) (gf2.Vec, bool)) MonteCarloResult {
+	res := MonteCarloResult{Trials: trials, PhysicalRate: p}
+	for t := 0; t < trials; t++ {
+		e := gf2.NewVec(c.N)
+		for q := 0; q < c.N; q++ {
+			if rng.Float64() < p {
+				e.Set(q, true)
+			}
+		}
+		if _, fault := correct(e); fault {
+			res.LogicalFaults++
+		}
+	}
+	return res
+}
+
+// CorrectsAllWeight1 exhaustively verifies that every single-qubit X and Z
+// error is corrected without a logical fault — the operational meaning of
+// distance 3.
+func (c *Code) CorrectsAllWeight1() bool {
+	for q := 0; q < c.N; q++ {
+		e := gf2.NewVec(c.N)
+		e.Set(q, true)
+		if _, fault := c.CorrectX(e); fault {
+			return false
+		}
+		if _, fault := c.CorrectZ(e); fault {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight2FailureCount returns how many of the C(n,2) weight-2 X errors
+// produce a logical fault after decoding. For a distance-3 code this must
+// be nonzero (some weight-2 errors are miscorrected into logical
+// operators), which is what bounds the code to single-error correction.
+func (c *Code) Weight2FailureCount() int {
+	fails := 0
+	for i := 0; i < c.N; i++ {
+		for j := i + 1; j < c.N; j++ {
+			e := gf2.NewVec(c.N)
+			e.Set(i, true)
+			e.Set(j, true)
+			if _, fault := c.CorrectX(e); fault {
+				fails++
+			}
+		}
+	}
+	return fails
+}

@@ -1,0 +1,114 @@
+// Package fidelity implements the fault-tolerance accounting that licenses
+// the CQLA's memory hierarchy: an application of size S = K·Q (K time
+// steps over Q logical qubits) tolerates a per-operation logical failure
+// rate of at most 1/KQ, and the fraction of work allowed at the fast but
+// less reliable level-1 encoding follows from Gottesman's local-gate
+// estimate (Equation 1 of the paper) at each level.
+package fidelity
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// AppSize describes an application's fault-tolerance demand.
+type AppSize struct {
+	// K is the number of logical time steps.
+	K float64
+	// Q is the number of logical qubits.
+	Q float64
+}
+
+// ModExpAppSize estimates the size of an n-bit modular exponentiation:
+// Q = 5n+3 logical qubits and K = 2n² adder-level macro time steps. The
+// budget is allocated at the paper's granularity — one "operation" per
+// logical qubit per addition — which is what makes its statement "if all
+// operations were equally divided between level 1 and level 2 the system
+// will maintain its fidelity" come out true for the 1024-bit instance
+// (KQ ~ 10^10 against a level-1 failure rate of ~10^-10).
+func ModExpAppSize(n int) AppSize {
+	adders := 2 * float64(n) * float64(n)
+	return AppSize{K: adders, Q: 5*float64(n) + 3}
+}
+
+// Target returns the admissible per-operation failure probability 1/KQ.
+func (a AppSize) Target() float64 {
+	kq := a.K * a.Q
+	if kq <= 0 {
+		panic(fmt.Sprintf("fidelity: non-positive application size %+v", a))
+	}
+	return 1 / kq
+}
+
+// Budget evaluates level mixes for one code under one physical failure rate.
+type Budget struct {
+	Code *ecc.Code
+	// P0 is the effective physical component failure probability.
+	P0 float64
+	// CommDistance is the r of Equation 1 (cells between level-1 blocks).
+	CommDistance float64
+}
+
+// NewBudget returns a budget with the QLA floorplan's communication
+// distance.
+func NewBudget(code *ecc.Code, p0 float64) Budget {
+	return Budget{Code: code, P0: p0, CommDistance: ecc.DefaultCommDistance}
+}
+
+// FailureAt returns the logical failure rate per operation at a level.
+func (b Budget) FailureAt(level int) float64 {
+	return b.Code.LogicalFailureRate(level, b.P0, b.CommDistance)
+}
+
+// MaxLevel1Fraction returns the largest fraction f of operations that can
+// run at level 1 (the rest at level 2) while the mean per-operation failure
+// stays within target: f·Pf(1) + (1-f)·Pf(2) <= target. The result is
+// clamped to [0, 1]; 0 means even pure level-2 operation misses the target.
+func (b Budget) MaxLevel1Fraction(target float64) float64 {
+	p1, p2 := b.FailureAt(1), b.FailureAt(2)
+	if p2 > target {
+		return 0
+	}
+	if p1 <= target {
+		return 1
+	}
+	f := (target - p2) / (p1 - p2)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// MixFailure returns the mean per-operation failure when opsL1 operations
+// run at level 1 for every opsL2 at level 2 (the paper performs one level-1
+// addition for every two level-2 additions).
+func (b Budget) MixFailure(opsL1, opsL2 int) float64 {
+	if opsL1 < 0 || opsL2 < 0 || opsL1+opsL2 == 0 {
+		panic(fmt.Sprintf("fidelity: invalid mix %d:%d", opsL1, opsL2))
+	}
+	total := float64(opsL1 + opsL2)
+	return (float64(opsL1)*b.FailureAt(1) + float64(opsL2)*b.FailureAt(2)) / total
+}
+
+// MixMeetsTarget reports whether the opsL1:opsL2 mix keeps the mean failure
+// within the application's budget.
+func (b Budget) MixMeetsTarget(opsL1, opsL2 int, app AppSize) bool {
+	return b.MixFailure(opsL1, opsL2) <= app.Target()
+}
+
+// Level1TimeFraction converts an operation mix into a time fraction given
+// the per-operation durations at each level: the paper's observation that
+// level-1 error correction takes ~1% of the level-2 time means an equal
+// operation split spends only ~2% of wall-clock time at level 1.
+func Level1TimeFraction(opsL1, opsL2 int, timeL1, timeL2 float64) float64 {
+	t1 := float64(opsL1) * timeL1
+	t2 := float64(opsL2) * timeL2
+	if t1+t2 == 0 {
+		return 0
+	}
+	return t1 / (t1 + t2)
+}

@@ -1,0 +1,156 @@
+package fidelity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/phys"
+)
+
+func steaneBudget() Budget {
+	return NewBudget(ecc.Steane(), phys.Projected().AverageFailure())
+}
+
+func TestTargetIsReciprocalKQ(t *testing.T) {
+	app := AppSize{K: 1e8, Q: 5e3}
+	if got := app.Target(); math.Abs(got-1/(1e8*5e3))/got > 1e-12 {
+		t.Errorf("target = %g", got)
+	}
+}
+
+func TestModExpAppSizeScale(t *testing.T) {
+	app := ModExpAppSize(1024)
+	if app.Q != 5*1024+3 {
+		t.Errorf("Q = %g", app.Q)
+	}
+	kq := app.K * app.Q
+	// The 1024-bit analysis operates around KQ ~ 10^10 at the paper's
+	// adder-level budget granularity.
+	if kq < 1e9 || kq > 1e12 {
+		t.Errorf("KQ = %g outside expected scale", kq)
+	}
+}
+
+func TestFailureDecreasesWithLevel(t *testing.T) {
+	b := steaneBudget()
+	if !(b.FailureAt(2) < b.FailureAt(1) && b.FailureAt(1) < b.P0) {
+		t.Errorf("failure not decreasing: p0=%g p1=%g p2=%g", b.P0, b.FailureAt(1), b.FailureAt(2))
+	}
+}
+
+func TestMaxLevel1FractionBoundaries(t *testing.T) {
+	b := steaneBudget()
+	p1, p2 := b.FailureAt(1), b.FailureAt(2)
+	// Target below even the level-2 rate: nothing is allowed.
+	if f := b.MaxLevel1Fraction(p2 / 10); f != 0 {
+		t.Errorf("unreachable target allowed f=%g", f)
+	}
+	// Target above the level-1 rate: everything may run at level 1.
+	if f := b.MaxLevel1Fraction(p1 * 10); f != 1 {
+		t.Errorf("loose target gave f=%g", f)
+	}
+	// A target midway allows an interior fraction, and the resulting mix
+	// exactly meets the budget.
+	target := (p1 + p2) / 2
+	f := b.MaxLevel1Fraction(target)
+	if f <= 0 || f >= 1 {
+		t.Fatalf("interior target gave f=%g", f)
+	}
+	mean := f*p1 + (1-f)*p2
+	if math.Abs(mean-target)/target > 1e-9 {
+		t.Errorf("fraction %g gives mean %g, target %g", f, mean, target)
+	}
+}
+
+func TestPaperLevel1MixIsSafe(t *testing.T) {
+	// The paper's policy: one level-1 addition for every two level-2
+	// additions "to comfortably maintain the fidelity of the system", for
+	// the 1024-bit modular exponentiation.
+	app := ModExpAppSize(1024)
+	for _, c := range ecc.Codes() {
+		b := NewBudget(c, phys.Projected().AverageFailure())
+		if !b.MixMeetsTarget(1, 2, app) {
+			t.Errorf("%s: the 1:2 mix should meet the 1024-bit budget (mix %g vs target %g)",
+				c.Short, b.MixFailure(1, 2), app.Target())
+		}
+	}
+}
+
+func TestBaconShorAllowsLargerLevel1Share(t *testing.T) {
+	// "The Bacon-Shor ECC ... results are more favourable due to a higher
+	// threshold." Compare at a demanding budget so neither code saturates
+	// at fraction 1.
+	p0 := phys.Projected().AverageFailure()
+	target := 1e-11
+	st := NewBudget(ecc.Steane(), p0).MaxLevel1Fraction(target)
+	bs := NewBudget(ecc.BaconShor(), p0).MaxLevel1Fraction(target)
+	if bs <= st {
+		t.Errorf("Bacon-Shor fraction %g should exceed Steane %g", bs, st)
+	}
+	if st <= 0 || bs >= 1 {
+		t.Errorf("expected interior fractions, got st=%g bs=%g", st, bs)
+	}
+}
+
+func TestMixFailureWeighting(t *testing.T) {
+	b := steaneBudget()
+	p1, p2 := b.FailureAt(1), b.FailureAt(2)
+	got := b.MixFailure(1, 2)
+	want := (p1 + 2*p2) / 3
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("mix failure = %g, want %g", got, want)
+	}
+	if got := b.MixFailure(0, 5); math.Abs(got-p2)/p2 > 1e-12 {
+		t.Errorf("pure level-2 mix = %g, want %g", got, p2)
+	}
+}
+
+func TestLevel1TimeFraction(t *testing.T) {
+	// Equal operation split with level-1 ops costing 1% of level-2 ops:
+	// ~1% of wall-clock time at level 1 (the paper quotes ~2% as the safe
+	// ceiling).
+	f := Level1TimeFraction(1, 1, 0.0031, 0.3)
+	if f < 0.005 || f > 0.02 {
+		t.Errorf("time fraction = %g, want ~1%%", f)
+	}
+	if Level1TimeFraction(0, 3, 1, 1) != 0 {
+		t.Error("no level-1 ops should give zero fraction")
+	}
+	if Level1TimeFraction(0, 0, 1, 1) != 0 {
+		t.Error("empty mix should give zero")
+	}
+}
+
+func TestPaperTwoPercentClaim(t *testing.T) {
+	// Section 5.2: with projected parameters the Steane system may spend
+	// only a small share of execution time at level 1; the 1:2 addition mix
+	// with level-1 additions ~100x faster lands well inside it.
+	b := steaneBudget()
+	app := ModExpAppSize(1024)
+	maxOps := b.MaxLevel1Fraction(app.Target())
+	// Convert the allowed operation fraction to a time fraction.
+	tf := Level1TimeFraction(1, 2, 0.0031, 0.3)
+	if tf > maxOps {
+		// Time fraction is tiny; the ops budget must accommodate it.
+		t.Errorf("1:2 mix time fraction %g exceeds allowed ops fraction %g", tf, maxOps)
+	}
+}
+
+func TestMixPanicsOnBadInput(t *testing.T) {
+	b := steaneBudget()
+	for _, f := range []func(){
+		func() { b.MixFailure(-1, 2) },
+		func() { b.MixFailure(0, 0) },
+		func() { AppSize{K: 0, Q: 10}.Target() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

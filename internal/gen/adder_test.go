@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// encodeInput places operand bits at the adder's register positions.
+func encodeInput(ad *Adder, a, b uint64) uint64 {
+	var v uint64
+	for i := 0; i < ad.N; i++ {
+		if a>>uint(i)&1 == 1 {
+			v |= 1 << uint(ad.A[i])
+		}
+		if b>>uint(i)&1 == 1 {
+			v |= 1 << uint(ad.B[i])
+		}
+	}
+	return v
+}
+
+// checkAdder simulates the adder on (a, b) and verifies the sum register
+// holds a+b, inputs are preserved (out-of-place) or replaced by the sum
+// (in-place), and every ancilla returned to zero.
+func checkAdder(t *testing.T, ad *Adder, a, b uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s, err := circuit.Simulate(ad.Circuit, encodeInput(ad, a, b), rng)
+	if err != nil {
+		t.Fatalf("%s n=%d: %v", ad.Name, ad.N, err)
+	}
+	out, p := s.DominantBasisState()
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("%s n=%d (%d+%d): output not deterministic, p=%g", ad.Name, ad.N, a, b, p)
+	}
+	var sum uint64
+	for i, q := range ad.Sum {
+		if out>>uint(q)&1 == 1 {
+			sum |= 1 << uint(i)
+		}
+	}
+	if want := a + b; sum != want {
+		t.Errorf("%s n=%d: %d+%d = %d, want %d", ad.Name, ad.N, a, b, sum, want)
+	}
+	var gotA uint64
+	for i, q := range ad.A {
+		if out>>uint(q)&1 == 1 {
+			gotA |= 1 << uint(i)
+		}
+	}
+	if gotA != a {
+		t.Errorf("%s n=%d: input A corrupted: %d -> %d", ad.Name, ad.N, a, gotA)
+	}
+	for _, q := range ad.Ancilla {
+		if out>>uint(q)&1 == 1 {
+			t.Errorf("%s n=%d (%d+%d): ancilla qubit %d not restored to 0", ad.Name, ad.N, a, b, q)
+		}
+	}
+}
+
+func TestCarryLookaheadExhaustiveSmall(t *testing.T) {
+	for n := 1; n <= 2; n++ {
+		ad := CarryLookahead(n)
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			for b := uint64(0); b < 1<<uint(n); b++ {
+				checkAdder(t, ad, a, b)
+			}
+		}
+	}
+}
+
+func TestCarryLookahead3Bit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-bit lookahead simulation is slow")
+	}
+	ad := CarryLookahead(3)
+	cases := [][2]uint64{
+		{0, 0}, {7, 7}, {5, 3}, {4, 4}, {1, 6}, {7, 1}, {2, 5}, {6, 6},
+	}
+	for _, c := range cases {
+		checkAdder(t, ad, c[0], c[1])
+	}
+}
+
+func TestRippleCarryExhaustiveSmall(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		ad := RippleCarry(n)
+		for a := uint64(0); a < 1<<uint(n); a++ {
+			for b := uint64(0); b < 1<<uint(n); b++ {
+				checkAdder(t, ad, a, b)
+			}
+		}
+	}
+}
+
+func TestRippleCarryRandomWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{6, 8} {
+		ad := RippleCarry(n)
+		for trial := 0; trial < 12; trial++ {
+			a := rng.Uint64() % (1 << uint(n))
+			b := rng.Uint64() % (1 << uint(n))
+			checkAdder(t, ad, a, b)
+		}
+		// Edge cases: max+max produces the carry-out.
+		checkAdder(t, ad, 1<<uint(n)-1, 1<<uint(n)-1)
+		checkAdder(t, ad, 0, 0)
+	}
+}
+
+func TestAddersAgreeOnStats(t *testing.T) {
+	// The resource shapes the architecture model depends on.
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		cla := CarryLookahead(n)
+		st := cla.Circuit.Stats()
+		// 8n-6 from g/tree/carry networks and their uncompute, minus two per
+		// level of the leftmost spine whose carry-in is the constant zero.
+		spine := 0
+		for s := 1; s < n; s *= 2 {
+			spine++
+		}
+		if want := 8*n - 6 - 2*spine; st.Toffolis != want {
+			t.Errorf("CLA(%d) toffolis = %d, want %d", n, st.Toffolis, want)
+		}
+		if st.Qubits != 8*n-2 {
+			t.Errorf("CLA(%d) qubits = %d, want %d", n, st.Qubits, 8*n-2)
+		}
+		rip := RippleCarry(n)
+		rs := rip.Circuit.Stats()
+		if rs.Toffolis != 2*n {
+			t.Errorf("ripple(%d) toffolis = %d, want %d", n, rs.Toffolis, 2*n)
+		}
+		if rs.Qubits != 2*n+2 {
+			t.Errorf("ripple(%d) qubits = %d, want %d", n, rs.Qubits, 2*n+2)
+		}
+	}
+}
+
+func TestLookaheadLogDepthVsRippleLinearDepth(t *testing.T) {
+	// The motivating fact of the whole architecture: the lookahead adder's
+	// critical path grows logarithmically, the ripple's linearly.
+	depth := func(c *circuit.Circuit) int { return circuit.BuildDAG(c).Depth() }
+	d64 := depth(CarryLookahead(64).Circuit)
+	d128 := depth(CarryLookahead(128).Circuit)
+	if float64(d128) > 1.4*float64(d64) {
+		t.Errorf("lookahead depth not logarithmic: d(64)=%d d(128)=%d", d64, d128)
+	}
+	r64 := depth(RippleCarry(64).Circuit)
+	r128 := depth(RippleCarry(128).Circuit)
+	if r128 < 2*r64-depth(RippleCarry(1).Circuit) {
+		t.Errorf("ripple depth not linear: d(64)=%d d(128)=%d", r64, r128)
+	}
+	if d64 >= r64 {
+		t.Errorf("lookahead (%d) should be shallower than ripple (%d) at 64 bits", d64, r64)
+	}
+}
+
+func TestLookaheadParallelismGrowsWithWidth(t *testing.T) {
+	p32 := circuit.BuildDAG(CarryLookahead(32).Circuit).MaxParallelism()
+	p128 := circuit.BuildDAG(CarryLookahead(128).Circuit).MaxParallelism()
+	if p128 <= p32 {
+		t.Errorf("peak parallelism should grow with width: %d vs %d", p32, p128)
+	}
+	if p32 < 8 {
+		t.Errorf("32-bit adder peak parallelism only %d", p32)
+	}
+}
+
+func TestAdderCircuitsValidate(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 33, 100} {
+		if err := CarryLookahead(n).Circuit.Validate(); err != nil {
+			t.Errorf("CLA(%d): %v", n, err)
+		}
+		if err := RippleCarry(n).Circuit.Validate(); err != nil {
+			t.Errorf("ripple(%d): %v", n, err)
+		}
+	}
+}
+
+func TestNonPowerOfTwoWidths(t *testing.T) {
+	// The segment tree must handle widths that are not powers of two.
+	for _, n := range []int{3, 5, 6, 7} {
+		ad := CarryLookahead(n)
+		if err := ad.Circuit.Validate(); err != nil {
+			t.Fatalf("CLA(%d): %v", n, err)
+		}
+		if len(ad.Sum) != n+1 {
+			t.Errorf("CLA(%d): sum width %d", n, len(ad.Sum))
+		}
+	}
+}
+
+func TestAdderPanicsOnZeroWidth(t *testing.T) {
+	for _, f := range []func(){func() { CarryLookahead(0) }, func() { RippleCarry(0) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkGenerateCLA1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CarryLookahead(1024)
+	}
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// checkControlled simulates the controlled adder with the control set or
+// clear and verifies the conditional semantics.
+func checkControlled(t *testing.T, ad *ControlledAdder, a, b uint64, ctrl bool) {
+	t.Helper()
+	input := encodeInput(&ad.Adder, a, b)
+	if ctrl {
+		input |= 1 << uint(ad.Control)
+	}
+	rng := rand.New(rand.NewSource(1))
+	s, err := circuit.Simulate(ad.Circuit, input, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, p := s.DominantBasisState()
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("non-deterministic output p=%g", p)
+	}
+	var sum uint64
+	for i, q := range ad.Sum {
+		if out>>uint(q)&1 == 1 {
+			sum |= 1 << uint(i)
+		}
+	}
+	want := uint64(0)
+	if ctrl {
+		want = a + b
+	}
+	if sum != want {
+		t.Errorf("ctrl=%v: %d+%d -> sum %d, want %d", ctrl, a, b, sum, want)
+	}
+	for _, q := range ad.Ancilla {
+		if out>>uint(q)&1 == 1 {
+			t.Errorf("ctrl=%v: ancilla %d dirty", ctrl, q)
+		}
+	}
+	if ctrlBit := out>>uint(ad.Control)&1 == 1; ctrlBit != ctrl {
+		t.Error("control qubit modified")
+	}
+}
+
+func TestControlledAdderSemantics(t *testing.T) {
+	ad := ControlledCarryLookahead(2)
+	for a := uint64(0); a < 4; a++ {
+		for b := uint64(0); b < 4; b++ {
+			checkControlled(t, ad, a, b, true)
+			checkControlled(t, ad, a, b, false)
+		}
+	}
+}
+
+func TestControlledAdderStructure(t *testing.T) {
+	n := 64
+	plain := CarryLookahead(n)
+	ctrl := ControlledCarryLookahead(n)
+	ps, cs := plain.Circuit.Stats(), ctrl.Circuit.Stats()
+	// The control qubit plus its fan-out copies; sum-phase CNOTs became
+	// Toffolis.
+	if cs.Qubits != ps.Qubits+1+n/8 {
+		t.Errorf("qubits %d, want %d", cs.Qubits, ps.Qubits+1+n/8)
+	}
+	extraToffolis := cs.Toffolis - ps.Toffolis
+	// CNOT delta: converted sum writes minus the 2*(n/8) fan-out CNOTs.
+	lostCNOTs := ps.TwoQubit - (cs.TwoQubit - 2*(n/8))
+	if extraToffolis != lostCNOTs || extraToffolis == 0 {
+		t.Errorf("conversion mismatch: +%d toffolis, -%d cnots", extraToffolis, lostCNOTs)
+	}
+	// Sum writes: n p-CNOTs + carry CNOTs + carry-out = about 2n+1.
+	if extraToffolis < n || extraToffolis > 2*n+1 {
+		t.Errorf("converted %d gates, expected ~2n", extraToffolis)
+	}
+	if err := ctrl.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlledAdderDepthComparable(t *testing.T) {
+	// The paper schedules controlled and plain additions identically; the
+	// control must not change the depth's asymptotics (the converted gates
+	// sit on the sum fan-out, adding a constant number of slot levels).
+	n := 128
+	dPlain := circuit.BuildDAG(CarryLookahead(n).Circuit).Depth()
+	dCtrl := circuit.BuildDAG(ControlledCarryLookahead(n).Circuit).Depth()
+	if float64(dCtrl) > 3.0*float64(dPlain) {
+		t.Errorf("controlled depth %d vs plain %d", dCtrl, dPlain)
+	}
+}

@@ -1,0 +1,32 @@
+package gen_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+)
+
+// ExampleCarryLookahead shows the resource shape of the paper's adder.
+func ExampleCarryLookahead() {
+	ad := gen.CarryLookahead(64)
+	st := ad.Circuit.Stats()
+	d := circuit.BuildDAG(ad.Circuit)
+	fmt.Printf("qubits: %d\n", st.Qubits)
+	fmt.Printf("toffolis: %d\n", st.Toffolis)
+	fmt.Printf("depth: %d slots\n", d.Depth())
+	// Output:
+	// qubits: 510
+	// toffolis: 494
+	// depth: 518 slots
+}
+
+// ExampleQFT shows the gate counts of the communication-heavy workload.
+func ExampleQFT() {
+	c := gen.QFT(8, false)
+	fmt.Printf("two-qubit gates: %d\n", c.Stats().TwoQubit)
+	fmt.Printf("depth: %d slots\n", circuit.BuildDAG(c).Depth())
+	// Output:
+	// two-qubit gates: 28
+	// depth: 15 slots
+}

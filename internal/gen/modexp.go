@@ -1,0 +1,57 @@
+package gen
+
+// ModExp is the composition model for quantum modular exponentiation, the
+// dominant part of Shor's algorithm. The paper never schedules the full
+// exponentiation gate-by-gate (for 1024 bits that is ~10^9 gates); it
+// treats it as repeated quantum additions ("quantum modular exponentiation
+// is performed by repeated quantum additions") and reports the average time
+// per adder. This model records the composition constants.
+type ModExp struct {
+	// N is the modulus width in bits.
+	N int
+}
+
+// NewModExp returns the composition model for factoring an N-bit modulus.
+func NewModExp(n int) ModExp {
+	if n < 1 {
+		panic("gen: modexp width < 1")
+	}
+	return ModExp{N: n}
+}
+
+// ExponentBits returns the exponent register width (2n for period finding).
+func (m ModExp) ExponentBits() int { return 2 * m.N }
+
+// Multiplications returns the number of controlled modular multiplications:
+// one per exponent bit.
+func (m ModExp) Multiplications() int { return m.ExponentBits() }
+
+// AdditionsPerMultiplication returns the number of modular additions inside
+// one controlled modular multiplication (one partial product per operand
+// bit).
+func (m ModExp) AdditionsPerMultiplication() int { return m.N }
+
+// AdderCalls returns the total number of n-bit additions in one modular
+// exponentiation: 2n multiplications x n additions each. (Each modular
+// addition also involves comparison/subtraction steps; those are
+// carry-lookahead networks of the same shape and are folded into the
+// per-adder time.)
+func (m ModExp) AdderCalls() int { return m.Multiplications() * m.AdditionsPerMultiplication() }
+
+// ConcurrentAdders returns how many additions can proceed simultaneously:
+// partial-product additions within one multiplication can be tree-summed,
+// giving parallelism that grows with operand width. The model uses n/16
+// (at least 1), matching the compute-block provisioning the paper chooses
+// (roughly one block per ~10 operand bits).
+func (m ModExp) ConcurrentAdders() int {
+	c := m.N / 16
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// LogicalQubits returns the total logical data qubits resident in memory
+// during modular exponentiation: the standard 5n+3 circuit footprint
+// (exponent excluded — it is consumed by the semiclassical QFT).
+func (m ModExp) LogicalQubits() int { return 5*m.N + 3 }

@@ -1,0 +1,381 @@
+// Package gf2 provides dense linear algebra over GF(2), the two-element
+// field. It is the substrate for the stabilizer-code machinery in
+// internal/ecc: parity-check matrices, syndrome computation, rank and
+// null-space calculations all reduce to GF(2) row operations.
+//
+// Vectors and matrices are stored as packed 64-bit words, so the row
+// operations used by Gaussian elimination are word-parallel.
+package gf2
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vec is a bit vector over GF(2) with a fixed length.
+type Vec struct {
+	n     int
+	words []uint64
+}
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec {
+	if n < 0 {
+		panic("gf2: negative vector length")
+	}
+	return Vec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// VecFromBits builds a vector from a slice of 0/1 ints.
+func VecFromBits(bits []int) Vec {
+	v := NewVec(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// VecFromString parses a vector from a string of '0' and '1' runes,
+// ignoring spaces.
+func VecFromString(s string) (Vec, error) {
+	s = strings.ReplaceAll(s, " ", "")
+	v := NewVec(len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return Vec{}, fmt.Errorf("gf2: invalid bit character %q", r)
+		}
+	}
+	return v, nil
+}
+
+// Len returns the vector's length in bits.
+func (v Vec) Len() int { return v.n }
+
+// Bit returns the bit at index i.
+func (v Vec) Bit(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf2: bit index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i/64]>>(uint(i)%64)&1 == 1
+}
+
+// Set assigns the bit at index i.
+func (v Vec) Set(i int, b bool) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("gf2: bit index %d out of range [0,%d)", i, v.n))
+	}
+	mask := uint64(1) << (uint(i) % 64)
+	if b {
+		v.words[i/64] |= mask
+	} else {
+		v.words[i/64] &^= mask
+	}
+}
+
+// Flip toggles the bit at index i.
+func (v Vec) Flip(i int) { v.Set(i, !v.Bit(i)) }
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := NewVec(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Xor sets v = v XOR u in place; the lengths must match.
+func (v Vec) Xor(u Vec) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf2: length mismatch %d vs %d", v.n, u.n))
+	}
+	for i := range v.words {
+		v.words[i] ^= u.words[i]
+	}
+}
+
+// And sets v = v AND u in place; the lengths must match.
+func (v Vec) And(u Vec) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf2: length mismatch %d vs %d", v.n, u.n))
+	}
+	for i := range v.words {
+		v.words[i] &= u.words[i]
+	}
+}
+
+// Dot returns the GF(2) inner product of v and u (the parity of the
+// popcount of their AND).
+func (v Vec) Dot(u Vec) bool {
+	if v.n != u.n {
+		panic(fmt.Sprintf("gf2: length mismatch %d vs %d", v.n, u.n))
+	}
+	var acc uint64
+	for i := range v.words {
+		acc ^= v.words[i] & u.words[i]
+	}
+	return popcount(acc)%2 == 1
+}
+
+// Weight returns the Hamming weight of v.
+func (v Vec) Weight() int {
+	w := 0
+	for _, word := range v.words {
+		w += popcount(word)
+	}
+	return w
+}
+
+// IsZero reports whether every bit of v is zero.
+func (v Vec) IsZero() bool {
+	for _, word := range v.words {
+		if word != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and u have the same length and bits.
+func (v Vec) Equal(u Vec) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Support returns the indices of the set bits, in increasing order.
+func (v Vec) Support() []int {
+	var idx []int
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Uint64 packs the first min(64, Len) bits of v into a uint64, bit i of the
+// vector becoming bit i of the integer. It is convenient as a map key for
+// syndrome lookup tables of small codes.
+func (v Vec) Uint64() uint64 {
+	if v.n == 0 {
+		return 0
+	}
+	w := v.words[0]
+	if v.n < 64 {
+		w &= (uint64(1) << uint(v.n)) - 1
+	}
+	return w
+}
+
+// String renders the vector as a bit string, most significant index last.
+func (v Vec) String() string {
+	var sb strings.Builder
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func popcount(x uint64) int {
+	// Kernighan-free SWAR popcount; math/bits would work too but keeping
+	// the package dependency-light makes it trivially portable.
+	x = x - ((x >> 1) & 0x5555555555555555)
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// Matrix is a dense GF(2) matrix stored as a slice of row vectors.
+type Matrix struct {
+	rows, cols int
+	data       []Vec
+}
+
+// NewMatrix returns a zero matrix with the given dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("gf2: negative matrix dimension")
+	}
+	m := &Matrix{rows: rows, cols: cols, data: make([]Vec, rows)}
+	for i := range m.data {
+		m.data[i] = NewVec(cols)
+	}
+	return m
+}
+
+// MatrixFromStrings parses one row per string of '0'/'1' characters. All
+// rows must have equal length.
+func MatrixFromStrings(rows ...string) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	m := &Matrix{rows: len(rows)}
+	for i, s := range rows {
+		v, err := VecFromString(s)
+		if err != nil {
+			return nil, fmt.Errorf("gf2: row %d: %w", i, err)
+		}
+		if i == 0 {
+			m.cols = v.Len()
+		} else if v.Len() != m.cols {
+			return nil, fmt.Errorf("gf2: row %d has length %d, want %d", i, v.Len(), m.cols)
+		}
+		m.data = append(m.data, v)
+	}
+	return m, nil
+}
+
+// MustMatrix is MatrixFromStrings that panics on error; for static tables.
+func MustMatrix(rows ...string) *Matrix {
+	m, err := MatrixFromStrings(rows...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns the i-th row vector (shared storage, not a copy).
+func (m *Matrix) Row(i int) Vec {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("gf2: row index %d out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i]
+}
+
+// At returns the bit at (row i, column j).
+func (m *Matrix) At(i, j int) bool { return m.Row(i).Bit(j) }
+
+// Set assigns the bit at (row i, column j).
+func (m *Matrix) Set(i, j int, b bool) { m.Row(i).Set(j, b) }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]Vec, m.rows)}
+	for i, r := range m.data {
+		c.data[i] = r.Clone()
+	}
+	return c
+}
+
+// MulVec returns m·v over GF(2); v must have length Cols, and the result
+// has length Rows. For a parity-check matrix this is exactly the syndrome
+// of the error vector v.
+func (m *Matrix) MulVec(v Vec) Vec {
+	if v.Len() != m.cols {
+		panic(fmt.Sprintf("gf2: vector length %d, want %d", v.Len(), m.cols))
+	}
+	out := NewVec(m.rows)
+	for i, row := range m.data {
+		if row.Dot(v) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// Rank returns the GF(2) rank of the matrix. The receiver is not modified.
+func (m *Matrix) Rank() int {
+	work := m.Clone()
+	rank := 0
+	for col := 0; col < work.cols && rank < work.rows; col++ {
+		pivot := -1
+		for r := rank; r < work.rows; r++ {
+			if work.data[r].Bit(col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work.data[rank], work.data[pivot] = work.data[pivot], work.data[rank]
+		for r := 0; r < work.rows; r++ {
+			if r != rank && work.data[r].Bit(col) {
+				work.data[r].Xor(work.data[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// NullSpace returns a basis of the right null space of m: every returned
+// vector x satisfies m·x = 0. For a stabilizer parity-check matrix the null
+// space spans the code (up to logical operators).
+func (m *Matrix) NullSpace() []Vec {
+	work := m.Clone()
+	pivotCol := make([]int, 0, work.rows)
+	rank := 0
+	for col := 0; col < work.cols && rank < work.rows; col++ {
+		pivot := -1
+		for r := rank; r < work.rows; r++ {
+			if work.data[r].Bit(col) {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work.data[rank], work.data[pivot] = work.data[pivot], work.data[rank]
+		for r := 0; r < work.rows; r++ {
+			if r != rank && work.data[r].Bit(col) {
+				work.data[r].Xor(work.data[rank])
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	isPivot := make([]bool, work.cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	var basis []Vec
+	for free := 0; free < work.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		x := NewVec(work.cols)
+		x.Set(free, true)
+		for r, pc := range pivotCol {
+			if work.data[r].Bit(free) {
+				x.Set(pc, true)
+			}
+		}
+		basis = append(basis, x)
+	}
+	return basis
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i, r := range m.data {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(r.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+// Package layout produces the CQLA's physical floorplan: the arrangement of
+// the dense level-2 memory, the code-transfer networks, the level-1 cache,
+// and the level-1 and level-2 compute regions on the ion-trap substrate
+// (Figure 3(b) of the paper). The floorplan realizes the area model of
+// internal/cqla as placed rectangles, checks that regions tile without
+// overlap, and renders an ASCII schematic for inspection.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cqla"
+	"repro/internal/ecc"
+	"repro/internal/gen"
+	"repro/internal/phys"
+)
+
+// RegionKind identifies a floorplan region.
+type RegionKind int
+
+const (
+	// Memory is the dense level-2 storage region.
+	Memory RegionKind = iota
+	// Transfer is the code-teleportation strip between encoding levels.
+	Transfer
+	// Cache is the level-1 staging region.
+	Cache
+	// ComputeL1 is the fast level-1 compute region.
+	ComputeL1
+	// ComputeL2 is the level-2 compute region.
+	ComputeL2
+)
+
+var regionNames = map[RegionKind]string{
+	Memory:    "memory (L2)",
+	Transfer:  "transfer network",
+	Cache:     "cache (L1)",
+	ComputeL1: "compute (L1)",
+	ComputeL2: "compute (L2)",
+}
+
+var regionGlyphs = map[RegionKind]byte{
+	Memory:    'M',
+	Transfer:  'T',
+	Cache:     '$',
+	ComputeL1: '1',
+	ComputeL2: '2',
+}
+
+// String names the region kind.
+func (k RegionKind) String() string {
+	if s, ok := regionNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("layout.RegionKind(%d)", int(k))
+}
+
+// Region is a placed rectangle in millimetres.
+type Region struct {
+	Kind       RegionKind
+	X, Y, W, H float64
+}
+
+// AreaMM2 returns the region's area.
+func (r Region) AreaMM2() float64 { return r.W * r.H }
+
+// Floorplan is a complete CQLA placement.
+type Floorplan struct {
+	WidthMM, HeightMM float64
+	Regions           []Region
+}
+
+// Config selects what to floorplan.
+type Config struct {
+	Code          *ecc.Code
+	Params        phys.Params
+	InputBits     int // modular-exponentiation width; sets memory size
+	ComputeBlocks int
+	Hierarchy     bool // include the level-1 tier
+}
+
+// Build computes the floorplan: regions are laid out as vertical strips in
+// memory-hierarchy order (memory, transfer, cache, level-1 compute,
+// level-2 compute), sharing a common height chosen to keep the die roughly
+// 2:1. Strip widths follow each region's area in the cqla model.
+func Build(cfg Config) (*Floorplan, error) {
+	if cfg.Code == nil || cfg.InputBits < 1 || cfg.ComputeBlocks < 1 {
+		return nil, fmt.Errorf("layout: invalid config %+v", cfg)
+	}
+	m := cqla.New(cqla.Config{
+		Code:              cfg.Code,
+		Params:            cfg.Params,
+		ComputeBlocks:     cfg.ComputeBlocks,
+		ParallelTransfers: 10,
+	})
+	qubits := gen.NewModExp(cfg.InputBits).LogicalQubits()
+
+	regionArea := map[RegionKind]float64{
+		Memory:    float64(qubits) * m.MemoryTileAreaMM2(),
+		ComputeL2: m.ComputeAreaMM2(),
+	}
+	if cfg.Hierarchy {
+		l1Qubit := cfg.Code.AreaMM2(1, cfg.Params)
+		l1Blocks := m.Level1Blocks()
+		regionArea[ComputeL1] = float64(l1Blocks) * float64(cqla.BlockDataQubits+cqla.BlockAncillaQubits) * l1Qubit * cqla.ComputeInterconnectFactor
+		regionArea[Cache] = cqla.CacheFactor * float64(l1Blocks*cqla.BlockDataQubits) * l1Qubit
+		regionArea[Transfer] = float64(m.Config().ParallelTransfers) * (cfg.Code.AreaMM2(2, cfg.Params) + l1Qubit)
+	}
+
+	total := 0.0
+	for _, a := range regionArea {
+		total += a
+	}
+	// Common strip height for a ~2:1 die.
+	height := math.Sqrt(total / 2)
+	fp := &Floorplan{HeightMM: height}
+	order := []RegionKind{Memory, Transfer, Cache, ComputeL1, ComputeL2}
+	x := 0.0
+	for _, kind := range order {
+		area, ok := regionArea[kind]
+		if !ok || area == 0 {
+			continue
+		}
+		w := area / height
+		fp.Regions = append(fp.Regions, Region{Kind: kind, X: x, Y: 0, W: w, H: height})
+		x += w
+	}
+	fp.WidthMM = x
+	return fp, nil
+}
+
+// TotalAreaMM2 returns the sum of region areas.
+func (f *Floorplan) TotalAreaMM2() float64 {
+	sum := 0.0
+	for _, r := range f.Regions {
+		sum += r.AreaMM2()
+	}
+	return sum
+}
+
+// Region returns the placed rectangle of a kind, if present.
+func (f *Floorplan) Region(kind RegionKind) (Region, bool) {
+	for _, r := range f.Regions {
+		if r.Kind == kind {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Validate checks structural soundness: positive dimensions, regions within
+// the die, and no pairwise overlap.
+func (f *Floorplan) Validate() error {
+	for i, r := range f.Regions {
+		if r.W <= 0 || r.H <= 0 {
+			return fmt.Errorf("layout: region %v has non-positive dimensions", r.Kind)
+		}
+		if r.X < -1e-9 || r.Y < -1e-9 || r.X+r.W > f.WidthMM+1e-9 || r.Y+r.H > f.HeightMM+1e-9 {
+			return fmt.Errorf("layout: region %v escapes the die", r.Kind)
+		}
+		for j := i + 1; j < len(f.Regions); j++ {
+			o := f.Regions[j]
+			if r.X < o.X+o.W-1e-9 && o.X < r.X+r.W-1e-9 &&
+				r.Y < o.Y+o.H-1e-9 && o.Y < r.Y+r.H-1e-9 {
+				return fmt.Errorf("layout: regions %v and %v overlap", r.Kind, o.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// ASCII renders the floorplan as a fixed-width schematic with one glyph per
+// region (M memory, T transfer, $ cache, 1/2 compute levels), plus a
+// legend with dimensions.
+func (f *Floorplan) ASCII(cols int) string {
+	if cols < 10 {
+		cols = 10
+	}
+	rows := cols / 4
+	if rows < 4 {
+		rows = 4
+	}
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", cols))
+	}
+	for _, r := range f.Regions {
+		x0 := int(r.X / f.WidthMM * float64(cols))
+		x1 := int((r.X + r.W) / f.WidthMM * float64(cols))
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if x1 > cols {
+			x1 = cols
+		}
+		for y := 0; y < rows; y++ {
+			for x := x0; x < x1; x++ {
+				grid[y][x] = regionGlyphs[r.Kind]
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "die: %.1f x %.1f mm (%.0f mm²)\n", f.WidthMM, f.HeightMM, f.TotalAreaMM2())
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	for _, r := range f.Regions {
+		fmt.Fprintf(&sb, "%c %-18s %7.1f mm² (%.1f x %.1f mm)\n",
+			regionGlyphs[r.Kind], r.Kind, r.AreaMM2(), r.W, r.H)
+	}
+	return sb.String()
+}

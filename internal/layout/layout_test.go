@@ -1,0 +1,153 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ecc"
+	"repro/internal/phys"
+)
+
+func build(t *testing.T, bits, blocks int, hierarchy bool) *Floorplan {
+	t.Helper()
+	f, err := Build(Config{
+		Code:          ecc.BaconShor(),
+		Params:        phys.Projected(),
+		InputBits:     bits,
+		ComputeBlocks: blocks,
+		Hierarchy:     hierarchy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestBuildFlat(t *testing.T) {
+	f := build(t, 256, 36, false)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Regions) != 2 {
+		t.Fatalf("flat floorplan has %d regions, want 2", len(f.Regions))
+	}
+	if _, ok := f.Region(Memory); !ok {
+		t.Error("missing memory region")
+	}
+	if _, ok := f.Region(Cache); ok {
+		t.Error("flat floorplan should not have a cache")
+	}
+}
+
+func TestBuildHierarchy(t *testing.T) {
+	f := build(t, 256, 36, true)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Regions) != 5 {
+		t.Fatalf("hierarchy floorplan has %d regions, want 5", len(f.Regions))
+	}
+	// Strip order: memory first, level-2 compute last.
+	if f.Regions[0].Kind != Memory || f.Regions[len(f.Regions)-1].Kind != ComputeL2 {
+		t.Error("strip ordering wrong")
+	}
+	// The level-2 compute region is the largest strip (its 1:2 ancilla
+	// provisioning is what the dense memory avoids paying), with memory
+	// second.
+	mem, _ := f.Region(Memory)
+	l2, _ := f.Region(ComputeL2)
+	if l2.AreaMM2() <= mem.AreaMM2() {
+		t.Error("level-2 compute should out-size memory at this working point")
+	}
+	if mem.AreaMM2() < 0.1*f.TotalAreaMM2() {
+		t.Errorf("memory share = %.2f of die, implausibly small", mem.AreaMM2()/f.TotalAreaMM2())
+	}
+}
+
+func TestDieAspect(t *testing.T) {
+	f := build(t, 1024, 100, true)
+	aspect := f.WidthMM / f.HeightMM
+	if aspect < 1.5 || aspect > 2.5 {
+		t.Errorf("die aspect = %.2f, want ~2", aspect)
+	}
+}
+
+func TestAreasMatchConfiguredModel(t *testing.T) {
+	// The floorplan realizes exactly the cqla area model.
+	f := build(t, 256, 36, false)
+	if math.Abs(f.TotalAreaMM2()-f.WidthMM*f.HeightMM)/f.TotalAreaMM2() > 1e-6 {
+		t.Error("strips do not tile the die")
+	}
+}
+
+func TestHierarchyAddsArea(t *testing.T) {
+	flat := build(t, 256, 36, false)
+	hier := build(t, 256, 36, true)
+	if hier.TotalAreaMM2() <= flat.TotalAreaMM2() {
+		t.Error("hierarchy should add area")
+	}
+	// But not much: the level-1 tier is cheap (its qubits are 20x smaller).
+	if hier.TotalAreaMM2() > 1.35*flat.TotalAreaMM2() {
+		t.Errorf("hierarchy overhead = %.2fx", hier.TotalAreaMM2()/flat.TotalAreaMM2())
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	f := build(t, 256, 36, true)
+	art := f.ASCII(60)
+	for _, glyph := range []string{"M", "T", "$", "1", "2"} {
+		if !strings.Contains(art, glyph) {
+			t.Errorf("ASCII missing glyph %q:\n%s", glyph, art)
+		}
+	}
+	if !strings.Contains(art, "mm²") {
+		t.Error("ASCII missing legend")
+	}
+	// Tiny width still renders.
+	if f.ASCII(3) == "" {
+		t.Error("clamped width should render")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	if _, err := Build(Config{Code: ecc.Steane(), Params: phys.Projected(), InputBits: 0, ComputeBlocks: 4}); err == nil {
+		t.Error("zero bits should fail")
+	}
+}
+
+// Property: floorplans validate for any sane configuration, and area grows
+// monotonically with input size.
+func TestFloorplanValidityProperty(t *testing.T) {
+	f := func(bitsSeed, blocksSeed uint8, hierarchy bool) bool {
+		bits := 16 + int(bitsSeed)%1009
+		blocks := 1 + int(blocksSeed)%150
+		fp, err := Build(Config{
+			Code:          ecc.Steane(),
+			Params:        phys.Projected(),
+			InputBits:     bits,
+			ComputeBlocks: blocks,
+			Hierarchy:     hierarchy,
+		})
+		if err != nil {
+			return false
+		}
+		return fp.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if Memory.String() != "memory (L2)" || Cache.String() != "cache (L1)" {
+		t.Error("region names wrong")
+	}
+	if RegionKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

@@ -1,0 +1,104 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestApply1QArbitraryUnitary checks Apply1Q with a random SU(2) matrix:
+// norm preservation and agreement with a hand-computed amplitude.
+func TestApply1QArbitraryUnitary(t *testing.T) {
+	theta := 0.7
+	c := complex(math.Cos(theta), 0)
+	s := complex(math.Sin(theta), 0)
+	st := NewBasisState(1, 0)
+	st.Apply1Q(0, c, -s, s, c) // real rotation
+	if d := cmplx.Abs(st.Amplitude(0) - c); d > 1e-12 {
+		t.Errorf("amp0 off by %g", d)
+	}
+	if d := cmplx.Abs(st.Amplitude(1) - s); d > 1e-12 {
+		t.Errorf("amp1 off by %g", d)
+	}
+}
+
+// Property: random single-qubit rotations preserve the norm on multi-qubit
+// states.
+func TestApply1QUnitaryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := NewState(4)
+		for q := 0; q < 4; q++ {
+			st.H(q)
+		}
+		for g := 0; g < 10; g++ {
+			th := rng.Float64() * 2 * math.Pi
+			ph := rng.Float64() * 2 * math.Pi
+			c := complex(math.Cos(th), 0)
+			s := cmplx.Exp(complex(0, ph)) * complex(math.Sin(th), 0)
+			st.Apply1Q(rng.Intn(4), c, -cmplx.Conj(s), s, cmplx.Conj(c))
+		}
+		return math.Abs(st.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeasurementStatistics verifies the Born rule empirically: H|0⟩
+// measured many times lands near 50/50.
+func TestMeasurementStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ones := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		s := NewState(1)
+		s.H(0)
+		ones += s.Measure(0, rng)
+	}
+	frac := float64(ones) / trials
+	if frac < 0.47 || frac > 0.53 {
+		t.Errorf("P(1) = %.3f, want ~0.5", frac)
+	}
+}
+
+// TestBiasedMeasurementStatistics checks a non-uniform distribution:
+// Ry-like rotation giving P(1) = sin²(θ).
+func TestBiasedMeasurementStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	theta := 0.4
+	want := math.Sin(theta) * math.Sin(theta)
+	ones := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		s := NewState(1)
+		c := complex(math.Cos(theta), 0)
+		sn := complex(math.Sin(theta), 0)
+		s.Apply1Q(0, c, -sn, sn, c)
+		ones += s.Measure(0, rng)
+	}
+	frac := float64(ones) / trials
+	if math.Abs(frac-want) > 0.02 {
+		t.Errorf("P(1) = %.3f, want %.3f", frac, want)
+	}
+}
+
+// TestGHZCorrelations prepares a 3-qubit GHZ state and checks perfect
+// correlation across all three measurements.
+func TestGHZCorrelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		s := NewState(3)
+		s.H(0)
+		s.CNOT(0, 1)
+		s.CNOT(0, 2)
+		m0 := s.Measure(0, rng)
+		m1 := s.Measure(1, rng)
+		m2 := s.Measure(2, rng)
+		if m0 != m1 || m1 != m2 {
+			t.Fatalf("GHZ gave uncorrelated outcomes %d%d%d", m0, m1, m2)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyPermutationBasis(t *testing.T) {
+	// Increment mod 8 on qubits {0,1,2}.
+	inc := func(v uint64) uint64 { return (v + 1) % 8 }
+	s := NewBasisState(4, 0b1011) // high bit set, low bits = 3
+	s.ApplyPermutation([]int{0, 1, 2}, inc)
+	if p := s.Probability(0b1100); math.Abs(p-1) > 1e-12 {
+		t.Errorf("increment: P(|1100⟩) = %g", p)
+	}
+}
+
+func TestApplyControlledPermutation(t *testing.T) {
+	inc := func(v uint64) uint64 { return (v + 1) % 4 }
+	// Control clear: nothing happens.
+	s := NewBasisState(3, 0b01)
+	s.ApplyControlledPermutation(2, []int{0, 1}, inc)
+	if p := s.Probability(0b01); math.Abs(p-1) > 1e-12 {
+		t.Error("permutation applied with control clear")
+	}
+	// Control set: increments.
+	s2 := NewBasisState(3, 0b101)
+	s2.ApplyControlledPermutation(2, []int{0, 1}, inc)
+	if p := s2.Probability(0b110); math.Abs(p-1) > 1e-12 {
+		t.Errorf("controlled increment failed: %g", p)
+	}
+}
+
+func TestPermutationOnSuperposition(t *testing.T) {
+	// A permutation must preserve the norm and permute amplitudes.
+	s := NewState(3)
+	for q := 0; q < 3; q++ {
+		s.H(q)
+		s.Phase(q, float64(q))
+	}
+	ref := s.Clone()
+	rev := func(v uint64) uint64 { return 7 - v } // bit-complement on 3 bits
+	s.ApplyPermutation([]int{0, 1, 2}, rev)
+	if math.Abs(s.Norm()-1) > 1e-12 {
+		t.Errorf("norm = %g", s.Norm())
+	}
+	for v := uint64(0); v < 8; v++ {
+		if s.Amplitude(rev(v)) != ref.Amplitude(v) {
+			t.Errorf("amplitude %d not moved to %d", v, rev(v))
+		}
+	}
+	// Applying it twice restores the state.
+	s.ApplyPermutation([]int{0, 1, 2}, rev)
+	if f := s.Fidelity(ref); math.Abs(f-1) > 1e-12 {
+		t.Errorf("involution fidelity = %g", f)
+	}
+}
+
+func TestPermutationSubsetOfQubits(t *testing.T) {
+	// Permuting a subregister must leave other qubits untouched.
+	swapBits := func(v uint64) uint64 { return (v>>1)&1 | (v&1)<<1 }
+	s := NewBasisState(4, 0b1001)
+	s.ApplyPermutation([]int{1, 2}, swapBits) // bits 1,2 hold 0b00: no-op
+	if p := s.Probability(0b1001); math.Abs(p-1) > 1e-12 {
+		t.Error("identity subcase failed")
+	}
+	s2 := NewBasisState(4, 0b0010) // bits(1,2) = 01 -> 10
+	s2.ApplyPermutation([]int{1, 2}, swapBits)
+	if p := s2.Probability(0b0100); math.Abs(p-1) > 1e-12 {
+		t.Error("subregister swap failed")
+	}
+}
+
+func TestPermutationRejectsNonBijection(t *testing.T) {
+	s := NewState(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-bijective map")
+		}
+	}()
+	s.ApplyPermutation([]int{0, 1}, func(uint64) uint64 { return 0 })
+}
+
+func TestPermutationRejectsBadTargets(t *testing.T) {
+	cases := []func(){
+		func() { NewState(2).ApplyPermutation([]int{0, 0}, func(v uint64) uint64 { return v }) },
+		func() { NewState(2).ApplyControlledPermutation(0, []int{0}, func(v uint64) uint64 { return v }) },
+		func() { NewState(2).ApplyPermutation([]int{5}, func(v uint64) uint64 { return v }) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: random permutations preserve the norm on random states.
+func TestPermutationUnitaryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		s := NewState(n)
+		for q := 0; q < n; q++ {
+			s.H(q)
+			s.Phase(q, rng.Float64()*math.Pi)
+		}
+		perm := rng.Perm(1 << uint(n))
+		s.ApplyPermutation(allQubits(n), func(v uint64) uint64 { return uint64(perm[v]) })
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func allQubits(n int) []int {
+	q := make([]int, n)
+	for i := range q {
+		q[i] = i
+	}
+	return q
+}

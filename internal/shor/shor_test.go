@@ -1,0 +1,187 @@
+package shor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{12, 8, 4}, {15, 5, 5}, {7, 13, 1}, {0, 9, 9}, {9, 0, 9}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestModPow(t *testing.T) {
+	cases := []struct{ b, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{7, 0, 15, 1},
+		{7, 4, 15, ModPow(7, 4, 15)},
+		{3, 5, 7, 5}, // 243 mod 7
+		{10, 3, 1, 0},
+	}
+	for _, c := range cases {
+		if got := ModPow(c.b, c.e, c.m); got != c.want {
+			t.Errorf("ModPow(%d,%d,%d) = %d, want %d", c.b, c.e, c.m, got, c.want)
+		}
+	}
+}
+
+// Property: ModPow(b, e1+e2, m) = ModPow(b,e1,m)*ModPow(b,e2,m) mod m.
+func TestModPowHomomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 2 + rng.Uint64()%1000
+		e1 := rng.Uint64() % 50
+		e2 := rng.Uint64() % 50
+		m := 2 + rng.Uint64()%10000
+		lhs := ModPow(b, e1+e2, m)
+		rhs := ModPow(b, e1, m) * ModPow(b, e2, m) % m
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplicativeOrder(t *testing.T) {
+	cases := []struct{ a, n, want uint64 }{
+		{7, 15, 4},
+		{2, 15, 4},
+		{4, 15, 2},
+		{2, 21, 6},
+		{5, 21, 6},
+		{3, 15, 0}, // gcd != 1
+	}
+	for _, c := range cases {
+		if got := MultiplicativeOrder(c.a, c.n); got != c.want {
+			t.Errorf("order(%d mod %d) = %d, want %d", c.a, c.n, got, c.want)
+		}
+	}
+}
+
+func TestConvergents(t *testing.T) {
+	// 649/200 = [3; 4, 12, 4]: convergents 3/1, 13/4, 159/49, 649/200.
+	cs := Convergents(649, 200, 200)
+	want := [][2]uint64{{3, 1}, {13, 4}, {159, 49}, {649, 200}}
+	if len(cs) != len(want) {
+		t.Fatalf("got %v", cs)
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Errorf("convergent %d = %v, want %v", i, cs[i], want[i])
+		}
+	}
+	// Denominator cap.
+	capped := Convergents(649, 200, 50)
+	if len(capped) != 3 {
+		t.Errorf("capped convergents = %v", capped)
+	}
+}
+
+func TestPeriodCandidatesRecoverKnownPeriod(t *testing.T) {
+	// Order of 7 mod 15 is 4. Phase estimation with 8 exponent qubits on a
+	// perfect run measures s·(256/4) = 64s; every nonzero measurement must
+	// yield 4 among the candidates.
+	for _, measured := range []uint64{64, 128, 192} {
+		cands := PeriodCandidates(measured, 8, 15)
+		found := false
+		for _, r := range cands {
+			if r == 4 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("measured %d: candidates %v missing period 4", measured, cands)
+		}
+	}
+	if PeriodCandidates(0, 8, 15) != nil {
+		t.Error("zero measurement should yield no candidates")
+	}
+}
+
+func TestFindOrderN15(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Try a few runs: each either recovers the true order or fails
+	// post-processing (measured s shared a factor with r); at least half
+	// should succeed.
+	successes := 0
+	for trial := 0; trial < 8; trial++ {
+		res, err := FindOrder(7, 15, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Period != 0 {
+			if ModPow(7, res.Period, 15) != 1 {
+				t.Fatalf("claimed period %d is wrong", res.Period)
+			}
+			successes++
+		}
+	}
+	if successes < 4 {
+		t.Errorf("only %d/8 order-finding runs succeeded", successes)
+	}
+}
+
+func TestFindOrderValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := FindOrder(1, 15, rng); err == nil {
+		t.Error("a=1 should be rejected")
+	}
+	if _, err := FindOrder(5, 15, rng); err == nil {
+		t.Error("gcd(5,15)!=1 should be rejected")
+	}
+	if _, err := FindOrder(3, 1<<20, rng); err == nil {
+		t.Error("too-wide modulus should be rejected")
+	}
+}
+
+func TestFactor15(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	res, err := Factor(15, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P*res.Q != 15 || res.P == 1 || res.Q == 1 {
+		t.Errorf("Factor(15) = %d x %d", res.P, res.Q)
+	}
+}
+
+func TestFactor21(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	res, err := Factor(21, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P*res.Q != 21 || res.P == 1 {
+		t.Errorf("Factor(21) = %d x %d", res.P, res.Q)
+	}
+}
+
+func TestFactor35(t *testing.T) {
+	if testing.Short() {
+		t.Skip("18-qubit simulation")
+	}
+	rng := rand.New(rand.NewSource(3))
+	res, err := Factor(35, rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P*res.Q != 35 || res.P == 1 {
+		t.Errorf("Factor(35) = %d x %d", res.P, res.Q)
+	}
+}
+
+func TestFactorRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []uint64{9, 14, 1 << 30} {
+		if _, err := Factor(n, rng, 3); err == nil {
+			t.Errorf("Factor(%d) should be rejected", n)
+		}
+	}
+}
