@@ -7,12 +7,14 @@
 package repro_bench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/cqla"
 	"repro/internal/ecc"
+	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/mesh"
 	"repro/internal/phys"
@@ -260,6 +262,42 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	}
 	b.ReportMetric(gp, "gain-product")
 }
+
+// --- Design-space exploration engine -------------------------------------
+
+// benchExplore runs the multi-axis pareto sweep (blocks x cache factor,
+// 45 points of full 256-bit machine evaluations) through the explore
+// worker pool at a fixed worker count.
+func benchExplore(b *testing.B, parallel int) {
+	exp, err := explore.Lookup("pareto")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := phys.Projected()
+	var pts []explore.Point
+	for i := 0; i < b.N; i++ {
+		pts, err = explore.Run(context.Background(), exp, explore.Options{Phys: p, Parallel: parallel, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, pt := range pts {
+		if g := pt.MustMetric("gain_product"); g > best {
+			best = g
+		}
+	}
+	b.ReportMetric(best, "best-gain-product")
+	b.ReportMetric(float64(len(pts)), "points")
+}
+
+// BenchmarkExploreSerial is the single-worker baseline for the engine.
+func BenchmarkExploreSerial(b *testing.B) { benchExplore(b, 1) }
+
+// BenchmarkExploreParallel fans the same sweep across GOMAXPROCS workers;
+// compare against BenchmarkExploreSerial for the engine's parallel
+// speedup (near-linear until the point count stops covering the workers).
+func BenchmarkExploreParallel(b *testing.B) { benchExplore(b, 0) }
 
 // BenchmarkTransferBatch measures the transfer-network batch model.
 func BenchmarkTransferBatch(b *testing.B) {

@@ -1,20 +1,29 @@
 // Command cqla regenerates every table and figure of the CQLA paper
 // (Thaker et al., ISCA 2006) from the architecture model in this
-// repository.
+// repository, and runs open design-space sweeps through the exploration
+// engine in internal/explore.
 //
 // Usage:
 //
-//	cqla <experiment> [flags]
+//	cqla [-current] <experiment>
+//	cqla sweep <name> [-format text|json|csv] [-parallel N] [-seed S]
 //
-// Experiments: table1 table2 table3 table4 table5 fig2 fig6a fig6b fig7
-// fig8a fig8b all
+// Most experiments live in the explore registry and accept either form:
+// the first prints an aligned text table, the second adds machine-readable
+// output, a worker-pool parallelism knob and deterministic seeding. A few
+// artifacts whose output is not a point set (the Figure 2 parallelism
+// profile, the ASCII floorplan, the discrete-event overlap check) keep
+// hand-laid layouts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -22,11 +31,24 @@ import (
 	"repro/internal/cqla"
 	"repro/internal/des"
 	"repro/internal/ecc"
+	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/layout"
 	"repro/internal/phys"
 	"repro/internal/sched"
 )
+
+// specials are the artifacts that are not point sweeps: their output is a
+// profile, a floorplan drawing or a simulation trace, so they bypass the
+// exploration engine.
+var specials = map[string]func(phys.Params){
+	"table1":    table1,
+	"fig2":      fig2,
+	"floorplan": floorplan,
+	"overlap":   overlap,
+}
+
+var specialOrder = []string{"table1", "fig2", "floorplan", "overlap"}
 
 func main() {
 	flag.Usage = usage
@@ -36,62 +58,154 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	name := strings.ToLower(flag.Arg(0))
+	if name == "sweep" {
+		runSweep(flag.Args()[1:], *current)
+		return
+	}
+	if flag.NArg() > 1 {
+		fmt.Fprintf(os.Stderr, "cqla: unexpected arguments after %q: %q (for sweep flags use: cqla sweep %s [flags])\n\n", name, flag.Args()[1:], name)
+		usage()
+		os.Exit(2)
+	}
 	p := phys.Projected()
 	if *current {
 		p = phys.Current()
 	}
-	name := strings.ToLower(flag.Arg(0))
-	experiments := map[string]func(phys.Params){
-		"table1":    table1,
-		"table2":    table2,
-		"table3":    table3,
-		"table4":    table4,
-		"table5":    table5,
-		"fig2":      fig2,
-		"fig6a":     fig6a,
-		"fig6b":     fig6b,
-		"fig7":      fig7,
-		"fig8a":     fig8a,
-		"fig8b":     fig8b,
-		"floorplan": floorplan,
-		"overlap":   overlap,
-	}
-	if name == "all" {
-		for _, k := range []string{"table1", "table2", "table3", "table4", "table5", "fig2", "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "floorplan", "overlap"} {
-			fmt.Printf("==== %s ====\n", k)
-			experiments[k](p)
-			fmt.Println()
+	switch {
+	case name == "all":
+		runAll(p)
+	case specials[name] != nil:
+		specials[name](p)
+	default:
+		exp, err := explore.Lookup(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cqla: unknown experiment %q\n\n", name)
+			usage()
+			os.Exit(2)
 		}
-		return
+		emitSweep(exp, p, "text", 0, 1, false)
 	}
-	run, ok := experiments[name]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "cqla: unknown experiment %q\n\n", name)
-		usage()
+}
+
+// runAll regenerates every artifact: the hand-laid specials first, then
+// every registered sweep as a text table.
+func runAll(p phys.Params) {
+	for _, k := range specialOrder {
+		fmt.Printf("==== %s ====\n", k)
+		specials[k](p)
+		fmt.Println()
+	}
+	for _, e := range explore.Experiments() {
+		fmt.Printf("==== sweep %s ====\n", e.Name)
+		emitSweep(e, p, "text", 0, 1, false)
+		fmt.Println()
+	}
+}
+
+// runSweep handles `cqla sweep <name> [flags]`.
+func runSweep(args []string, current bool) {
+	fs := flag.NewFlagSet("cqla sweep", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text, json or csv")
+	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "base seed for stochastic sweeps")
+	cur := fs.Bool("current", current, "use currently demonstrated ion-trap parameters instead of projected")
+	progress := fs.Bool("progress", false, "report point completion on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cqla sweep <name> [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nSweeps:\n")
+		listSweeps(os.Stderr)
+	}
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		fs.Usage()
 		os.Exit(2)
 	}
-	run(p)
+	name := strings.ToLower(args[0])
+	fs.Parse(args[1:])
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "cqla: unexpected arguments after sweep name: %q\n\n", fs.Args())
+		fs.Usage()
+		os.Exit(2)
+	}
+	exp, err := explore.Lookup(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqla: unknown sweep %q\n\nSweeps:\n", name)
+		listSweeps(os.Stderr)
+		os.Exit(2)
+	}
+	if !validFormat(*format) {
+		fmt.Fprintf(os.Stderr, "cqla: unknown format %q (have %s)\n", *format, strings.Join(explore.Formats(), ", "))
+		os.Exit(2)
+	}
+	p := phys.Projected()
+	if *cur {
+		p = phys.Current()
+	}
+	emitSweep(exp, p, *format, *parallel, *seed, *progress)
+}
+
+// emitSweep runs one registered experiment through the engine and writes
+// it to stdout in the requested format.
+func emitSweep(exp *explore.Experiment, p phys.Params, format string, parallel int, seed int64, progress bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := explore.Options{Phys: p, Parallel: parallel, Seed: seed}
+	if progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcqla: %s %d/%d points", exp.Name, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	pts, err := explore.Run(ctx, exp, opts)
+	if err != nil {
+		if progress {
+			fmt.Fprintln(os.Stderr) // terminate the \r-rewritten progress line
+		}
+		log.Fatalf("cqla: sweep %s: %v", exp.Name, err)
+	}
+	r := &explore.Report{Experiment: exp, Phys: p.Name, Seed: seed, Points: pts}
+	if err := r.Emit(os.Stdout, format); err != nil {
+		log.Fatalf("cqla: emit %s: %v", exp.Name, err)
+	}
+}
+
+// validFormat rejects unknown -format values before the sweep runs,
+// rather than after minutes of computation at emission time.
+func validFormat(format string) bool {
+	for _, f := range explore.Formats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// listSweeps prints the registry listing, so newly registered experiments
+// appear in usage output automatically.
+func listSweeps(w io.Writer) {
+	for _, e := range explore.Experiments() {
+		fmt.Fprintf(w, "  %-14s %s (%d points)\n", e.Name, e.Title, e.Size())
+	}
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
+       cqla sweep <name> [-format text|json|csv] [-parallel N] [-seed S]
 
-Experiments (each regenerates one table or figure of the paper):
-  table1   physical operation parameters (Table 1)
-  table2   error-correction metric summary (Table 2)
-  table3   code-transfer network latencies (Table 3)
-  table4   CQLA specialization vs QLA for modular exponentiation (Table 4)
-  table5   memory-hierarchy speedups and gain products (Table 5)
-  fig2     parallelism profile of the 64-qubit adder (Figure 2)
-  fig6a    compute-block utilization curves (Figure 6a)
-  fig6b    superblock bandwidth crossover (Figure 6b)
-  fig7     cache hit rates, naive vs optimized fetch (Figure 7)
-  fig8a    modular exponentiation computation vs communication (Figure 8a)
-  fig8b    QFT computation vs communication (Figure 8b)
+Hand-laid artifacts:
+  table1     physical operation parameters (Table 1)
+  fig2       parallelism profile of the 64-qubit adder (Figure 2)
   floorplan  ASCII floorplan of the 256-bit Bacon-Shor CQLA (Figure 3b)
   overlap    discrete-event check of the communication-overlap claim
-  all      everything above in sequence
+  all        everything: the artifacts above plus every registered sweep
+
+Registered sweeps (run directly for a text table, or through
+`+"`cqla sweep <name>`"+` for json/csv output, -parallel and -seed):
 `)
+	listSweeps(os.Stderr)
 }
 
 func table1(p phys.Params) {
@@ -105,40 +219,6 @@ func table1(p phys.Params) {
 	fmt.Printf("%-14s %g µm (%d electrodes -> %.0f µm regions)\n",
 		"trap size", p.TrapSizeMicron, p.ElectrodesPerRegion, p.RegionPitchMicron())
 	fmt.Printf("%-14s %v\n", "clock cycle", p.CycleTime)
-}
-
-func table2(p phys.Params) {
-	fmt.Printf("%-12s %-6s %-12s %-14s %-12s %-8s %-8s\n",
-		"Code", "Level", "EC time", "Transversal", "Area (mm²)", "Data", "Ancilla")
-	for _, m := range cqla.Table2Rows(p) {
-		fmt.Printf("%-12s L%-5d %-12.4g %-14.4g %-12.3g %-8d %-8d\n",
-			m.Code, m.Level, m.ECTime.Seconds(), m.TransversalGateTime.Seconds(),
-			m.AreaMM2, m.DataIons, m.AncillaIons)
-	}
-}
-
-func table3(phys.Params) {
-	encs, m := cqla.Table3Matrix()
-	fmt.Printf("%-10s", "(seconds)")
-	for _, e := range encs {
-		fmt.Printf("%-8s", e)
-	}
-	fmt.Println()
-	for i, from := range encs {
-		fmt.Printf("%-10s", from)
-		for j := range encs {
-			fmt.Printf("%-8.3g", m[i][j].Seconds())
-		}
-		fmt.Println()
-	}
-}
-
-func table4(p phys.Params) {
-	fmt.Print(cqla.FormatTable4(cqla.Table4(p)))
-}
-
-func table5(p phys.Params) {
-	fmt.Print(cqla.FormatTable5(cqla.Table5(p)))
 }
 
 func fig2(p phys.Params) {
@@ -168,46 +248,6 @@ func bar(n int) string {
 		n = 60
 	}
 	return strings.Repeat("#", n)
-}
-
-func fig6a(p phys.Params) {
-	curves := cqla.Fig6a(p)
-	fmt.Printf("%-8s", "blocks")
-	for _, c := range curves {
-		fmt.Printf("%-9s", fmt.Sprintf("%d-bit", c.AdderSize))
-	}
-	fmt.Println()
-	for i, k := range cqla.Fig6aBlockCounts() {
-		fmt.Printf("%-8d", k)
-		for _, c := range curves {
-			fmt.Printf("%-9.3f", c.Utilizations[i])
-		}
-		fmt.Println()
-	}
-}
-
-func fig6b(phys.Params) {
-	f := cqla.Fig6b()
-	fmt.Printf("superblock crossover: %d compute blocks\n", f.Crossover)
-	fmt.Printf("%-8s %-12s %-12s %-12s\n", "blocks", "available", "req-draper", "req-worst")
-	for i, k := range f.Blocks {
-		fmt.Printf("%-8d %-12.1f %-12.1f %-12.1f\n", k, f.Available[i], f.RequiredDraper[i], f.RequiredWorst[i])
-	}
-}
-
-func fig7(p phys.Params) {
-	fmt.Printf("%-8s %-10s %-8s %-10s %-10s\n", "adder", "cache", "xPE", "naive", "optimized")
-	for _, r := range cqla.Fig7(p) {
-		fmt.Printf("%-8d %-10d %-8.1f %-10.1f %-10.1f\n",
-			r.AdderSize, r.CacheSize, r.Multiplier, 100*r.NaiveRate, 100*r.OptimRate)
-	}
-}
-
-func fig8a(p phys.Params) {
-	fmt.Printf("%-8s %-16s %-16s\n", "bits", "computation(h)", "communication(h)")
-	for _, a := range cqla.Fig8a(p) {
-		fmt.Printf("%-8d %-16.1f %-16.1f\n", a.ProblemSize, a.Computation.Hours(), a.Communication.Hours())
-	}
 }
 
 func floorplan(p phys.Params) {
@@ -247,11 +287,4 @@ func overlap(p phys.Params) {
 			des.CommunicationHidden(stats, computeOnly), stats.ChannelUtilization)
 	}
 	fmt.Printf("compute-only lower bound: %.1f s\n", computeOnly.Seconds())
-}
-
-func fig8b(p phys.Params) {
-	fmt.Printf("%-8s %-16s %-16s\n", "size", "computation(s)", "communication(s)")
-	for _, a := range cqla.Fig8b(p) {
-		fmt.Printf("%-8d %-16.0f %-16.0f\n", a.ProblemSize, a.Computation.Seconds(), a.Communication.Seconds())
-	}
 }

@@ -170,11 +170,20 @@ type Figure6b struct {
 	Crossover      int
 }
 
+// Fig6bBlockCounts returns the x-axis of Figure 6(b).
+func Fig6bBlockCounts() []int {
+	var counts []int
+	for k := 4; k <= 80; k += 4 {
+		counts = append(counts, k)
+	}
+	return counts
+}
+
 // Fig6b computes Figure 6(b) from the mesh bandwidth model.
 func Fig6b() Figure6b {
 	sb := mesh.DefaultSuperblock()
 	var f Figure6b
-	for k := 4; k <= 80; k += 4 {
+	for _, k := range Fig6bBlockCounts() {
 		f.Blocks = append(f.Blocks, k)
 		f.Available = append(f.Available, sb.Available(k))
 		f.RequiredDraper = append(f.RequiredDraper, sb.RequiredDraper(k))

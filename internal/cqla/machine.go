@@ -54,6 +54,10 @@ const (
 	// two-qubit-gate slots (it is not transversal and decomposes into
 	// CNOTs plus corrective single-qubit rotations).
 	CPhaseSlots = 3
+	// NoTransferOverlap is the Config.TransferOverlap value selecting no
+	// overlap at all. The field's zero value means "paper default", so
+	// literal zero overlap needs a distinct (negative) sentinel.
+	NoTransferOverlap = -1.0
 	// MaxSuperblockBlocks caps the level-1 compute region at one
 	// superblock: past 36 blocks a superblock's perimeter bandwidth can no
 	// longer feed its blocks (the Figure 6(b) crossover), so the fast tier
@@ -73,6 +77,16 @@ type Config struct {
 	// ParallelTransfers is the memory<->cache transfer-network width (the
 	// "Par Xfer" of Table 5).
 	ParallelTransfers int
+	// CacheFactor sizes the level-1 cache relative to the level-1 compute
+	// region's data qubits. The zero value selects the paper's default
+	// (the CacheFactor constant); design-space sweeps set it explicitly.
+	CacheFactor float64
+	// TransferOverlap is the fraction of memory<->cache transfer latency
+	// the static schedule hides under surrounding level-2 additions. The
+	// zero value selects the paper's default (the TransferOverlap
+	// constant); pass a negative value to model no overlap at all (it is
+	// clamped to 0).
+	TransferOverlap float64
 }
 
 // Machine is a configured CQLA with its QLA baseline and memoized adder
@@ -100,6 +114,17 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.ParallelTransfers < 1 {
 		cfg.ParallelTransfers = 1
+	}
+	if cfg.CacheFactor <= 0 {
+		cfg.CacheFactor = CacheFactor
+	}
+	switch {
+	case cfg.TransferOverlap == 0:
+		cfg.TransferOverlap = TransferOverlap
+	case cfg.TransferOverlap < 0:
+		cfg.TransferOverlap = 0
+	case cfg.TransferOverlap > 1:
+		panic(fmt.Sprintf("cqla: transfer overlap %g > 1", cfg.TransferOverlap))
 	}
 	return &Machine{cfg: cfg, baseline: qla.New(), adders: make(map[int]*adderSchedule)}
 }
@@ -162,7 +187,7 @@ func (m *Machine) HierarchyAreaMM2() float64 {
 	c := m.cfg.Code
 	l1Qubit := c.AreaMM2(1, m.cfg.Params)
 	l1Compute := float64(m.cfg.ComputeBlocks) * float64(BlockDataQubits+BlockAncillaQubits) * l1Qubit * ComputeInterconnectFactor
-	cacheQubits := CacheFactor * float64(m.cfg.ComputeBlocks*BlockDataQubits)
+	cacheQubits := m.cfg.CacheFactor * float64(m.cfg.ComputeBlocks*BlockDataQubits)
 	cacheArea := cacheQubits * l1Qubit
 	transferArea := float64(m.cfg.ParallelTransfers) * (c.AreaMM2(2, m.cfg.Params) + l1Qubit)
 	return l1Compute + cacheArea + transferArea
@@ -235,11 +260,11 @@ func (m *Machine) Level1Blocks() int {
 // bits.
 func (m *Machine) TransferStall() time.Duration {
 	c := m.cfg.Code
-	qubits := int(CacheFactor * float64(m.Level1Blocks()*BlockDataQubits))
+	qubits := int(m.cfg.CacheFactor * float64(m.Level1Blocks()*BlockDataQubits))
 	width := float64(m.cfg.ParallelTransfers) / float64(c.ChannelsRequired())
 	batches := int(float64(qubits)/width + 0.999999)
 	rt := transfer.RoundTrip(transfer.Enc(c, 2), transfer.Enc(c, 1))
-	return time.Duration((1 - TransferOverlap) * float64(batches) * float64(rt))
+	return time.Duration((1 - m.cfg.TransferOverlap) * float64(batches) * float64(rt))
 }
 
 // AdderTimeL1 returns the time of one addition run in the level-1 compute

@@ -36,6 +36,19 @@ func (c *Code) MonteCarloZ(p float64, trials int, rng *rand.Rand) MonteCarloResu
 	return c.monteCarlo(p, trials, rng, c.CorrectZ)
 }
 
+// MonteCarloXSeeded runs MonteCarloX on a private source seeded with seed,
+// so concurrent design-space sweeps can evaluate points in any order and
+// still reproduce: the same (p, trials, seed) always returns the same
+// counts.
+func (c *Code) MonteCarloXSeeded(p float64, trials int, seed int64) MonteCarloResult {
+	return c.MonteCarloX(p, trials, rand.New(rand.NewSource(seed)))
+}
+
+// MonteCarloZSeeded is MonteCarloXSeeded for phase-flip errors.
+func (c *Code) MonteCarloZSeeded(p float64, trials int, seed int64) MonteCarloResult {
+	return c.MonteCarloZ(p, trials, rand.New(rand.NewSource(seed)))
+}
+
 func (c *Code) monteCarlo(p float64, trials int, rng *rand.Rand, correct func(gf2.Vec) (gf2.Vec, bool)) MonteCarloResult {
 	res := MonteCarloResult{Trials: trials, PhysicalRate: p}
 	for t := 0; t < trials; t++ {

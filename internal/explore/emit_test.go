@@ -1,0 +1,151 @@
+package explore_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+)
+
+func emitFixture(t *testing.T) *explore.Report {
+	t.Helper()
+	exp := &explore.Experiment{
+		Name:  "t-emit",
+		Title: "emitter fixture",
+		Axes: []explore.Axis{
+			explore.Ints("size", 8, 16),
+			explore.Strings("code", "steane"),
+			explore.Floats("factor", 1.5),
+		},
+		Eval: func(ctx context.Context, in explore.In) ([]explore.Metric, error) {
+			return []explore.Metric{
+				{Name: "double", Value: 2 * float64(in.Int("size"))},
+				{Name: "factor_echo", Value: in.Float("factor")},
+			}, nil
+		},
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{Parallel: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &explore.Report{Experiment: exp, Phys: "projected", Seed: 3, Points: pts}
+}
+
+func TestEmitJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitFixture(t).JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Phys       string `json:"phys"`
+		Seed       int64  `json:"seed"`
+		Points     []struct {
+			Params  map[string]any     `json:"params"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Experiment != "t-emit" || doc.Seed != 3 || doc.Phys != "projected" {
+		t.Errorf("bad header: %+v", doc)
+	}
+	if len(doc.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(doc.Points))
+	}
+	p0 := doc.Points[0]
+	if p0.Params["size"] != float64(8) || p0.Params["code"] != "steane" || p0.Params["factor"] != 1.5 {
+		t.Errorf("typed params did not round-trip: %v", p0.Params)
+	}
+	if p0.Metrics["double"] != 16 {
+		t.Errorf("metric double = %g, want 16", p0.Metrics["double"])
+	}
+}
+
+func TestEmitCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitFixture(t).CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d CSV records, want header + 2 rows", len(recs))
+	}
+	wantHeader := []string{"size", "code", "factor", "double", "factor_echo"}
+	if strings.Join(recs[0], "|") != strings.Join(wantHeader, "|") {
+		t.Errorf("header %v, want %v", recs[0], wantHeader)
+	}
+	if recs[1][0] != "8" || recs[1][3] != "16" {
+		t.Errorf("first data row %v", recs[1])
+	}
+}
+
+func TestEmitText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitFixture(t).Text(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"t-emit", "emitter fixture", "seed 3", "2 points", "size", "double"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // caption + header + 2 rows
+		t.Errorf("got %d text lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+// TestEmitJSONNonFinite: the registry is open to new evaluators, so the
+// JSON emitter must keep documents parseable even when a metric comes out
+// NaN or infinite.
+func TestEmitJSONNonFinite(t *testing.T) {
+	exp := &explore.Experiment{
+		Name: "t-nonfinite",
+		// Control character in the title: Go %q-style escaping would emit
+		// \x1f, which JSON parsers reject.
+		Title: "non-finite \x1f fixture",
+		Axes:  []explore.Axis{explore.Strings("s", "ctl\x01val"), explore.Ints("i", 1)},
+		Eval: func(ctx context.Context, in explore.In) ([]explore.Metric, error) {
+			return []explore.Metric{
+				{Name: "inf", Value: math.Inf(1)},
+				{Name: "nan", Value: math.NaN()},
+				{Name: "ok", Value: 2.5},
+			}, nil
+		},
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r := &explore.Report{Experiment: exp, Phys: "projected", Seed: 1, Points: pts}
+	if err := r.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON with non-finite metrics does not parse: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"inf": null`) || !strings.Contains(buf.String(), `"nan": null`) {
+		t.Errorf("non-finite metrics not emitted as null:\n%s", buf.String())
+	}
+}
+
+func TestEmitUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := emitFixture(t).Emit(&buf, "yaml")
+	if err == nil || !strings.Contains(err.Error(), "yaml") {
+		t.Fatalf("Emit with unknown format: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package explore is the design-space exploration engine of the
+// reproduction. The CQLA paper is at heart a sweep study — every table and
+// figure walks input size × compute-block count × error-correction code ×
+// physical parameters — and this package turns those sweeps into data:
+//
+//   - an experiment registry (Register, Lookup) naming every table and
+//     figure of the paper plus free-form sweeps the paper never printed,
+//     each declared as typed parameter axes and a per-point evaluator;
+//   - a worker-pool runner (Run) that fans the cartesian product of the
+//     axes across goroutines with deterministic per-point seeding,
+//     memoized repeated points, context cancellation and progress
+//     reporting — the same seed yields bit-identical results at any
+//     parallelism;
+//   - structured emitters (Report.JSON, Report.CSV, Report.Text) producing
+//     machine-readable or aligned-table output from one []Point stream.
+//
+// cmd/cqla exposes the registry as `cqla sweep <name>`.
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the parameter types a design-space axis can carry.
+type Kind uint8
+
+const (
+	// Int parameters: input sizes, block counts, transfer widths, trials.
+	Int Kind = iota
+	// Float parameters: cache factors, overlap fractions, error rates.
+	Float
+	// String parameters: code names, encodings, policy labels.
+	String
+)
+
+// Value is one coordinate setting along an axis: a tagged union over the
+// parameter kinds of the CQLA design space.
+type Value struct {
+	kind Kind
+	i    int
+	f    float64
+	s    string
+}
+
+// IntV wraps an integer parameter.
+func IntV(v int) Value { return Value{kind: Int, i: v} }
+
+// FloatV wraps a floating-point parameter.
+func FloatV(v float64) Value { return Value{kind: Float, f: v} }
+
+// StringV wraps a string parameter.
+func StringV(v string) Value { return Value{kind: String, s: v} }
+
+// Kind returns the parameter type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the value as an integer; float values truncate. It panics
+// on a string value — like an unknown axis name, a numeric read of a
+// string axis is an evaluator wiring bug, and failing loudly at the first
+// point beats a full sweep of silently zeroed metrics.
+func (v Value) Int() int {
+	switch v.kind {
+	case Float:
+		return int(v.f)
+	case String:
+		panic(fmt.Sprintf("explore: Int() on string value %q", v.s))
+	}
+	return v.i
+}
+
+// Float returns the value as a float; integer values convert. It panics on
+// a string value (see Int).
+func (v Value) Float() float64 {
+	switch v.kind {
+	case Int:
+		return float64(v.i)
+	case String:
+		panic(fmt.Sprintf("explore: Float() on string value %q", v.s))
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics on a numeric value (see Int).
+func (v Value) Str() string {
+	if v.kind != String {
+		panic(fmt.Sprintf("explore: Str() on numeric value %s", v.String()))
+	}
+	return v.s
+}
+
+// String renders the value for keys, CSV cells and text tables. Floats use
+// the shortest representation that round-trips, so the rendering is a
+// faithful identity for memoization.
+func (v Value) String() string {
+	switch v.kind {
+	case Int:
+		return strconv.Itoa(v.i)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return v.s
+	}
+}
+
+// MarshalJSON emits the underlying typed value (number or string). String
+// values go through encoding/json, not strconv.Quote, whose control-char
+// escapes are not valid JSON.
+func (v Value) MarshalJSON() ([]byte, error) {
+	if v.kind == String {
+		return json.Marshal(v.s)
+	}
+	return []byte(v.String()), nil
+}
+
+// Axis is one named, ordered dimension of a design space.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// Ints declares an integer axis.
+func Ints(name string, vs ...int) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, IntV(v))
+	}
+	return a
+}
+
+// Floats declares a floating-point axis.
+func Floats(name string, vs ...float64) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, FloatV(v))
+	}
+	return a
+}
+
+// Strings declares a string axis.
+func Strings(name string, vs ...string) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, StringV(v))
+	}
+	return a
+}
+
+// Metric is one named scalar an experiment computes at a point.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Point is one evaluated configuration of a sweep: its coordinates in axis
+// order plus the metrics the experiment computed there. Points come out of
+// Run in cartesian-product order (last axis fastest), independent of how
+// the worker pool scheduled them.
+type Point struct {
+	// Index is the point's position in the cartesian product.
+	Index int
+	// Coords holds one Value per experiment axis, in axis order.
+	Coords []Value
+	// Metrics holds the evaluator's results, in the order it returned them.
+	Metrics []Metric
+}
+
+// Metric returns the named metric's value, or an error if the evaluator
+// did not produce it.
+func (p Point) Metric(name string) (float64, error) {
+	for _, m := range p.Metrics {
+		if m.Name == name {
+			return m.Value, nil
+		}
+	}
+	return 0, fmt.Errorf("explore: point %d has no metric %q", p.Index, name)
+}
+
+// MustMetric is Metric but panics on a missing name; for tests and
+// post-processing hooks over metric sets the caller itself defined.
+func (p Point) MustMetric(name string) float64 {
+	v, err := p.Metric(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// key renders the point's coordinates as a memoization key: two points
+// with identical coordinates share one evaluation.
+func key(coords []Value) string {
+	s := ""
+	for i, v := range coords {
+		if i > 0 {
+			s += "\x1f"
+		}
+		s += v.String()
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+package explore_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cqla"
+	"repro/internal/explore"
+	"repro/internal/phys"
+)
+
+// TestTable4Golden routes the Table 4 experiment through the engine and
+// demands exact (bitwise) agreement with the hand-coded serial path
+// cqla.Table4 — the engine must be a faithful re-plumbing, not an
+// approximation. The engine's product order is size x budget x code with
+// code fastest, so each Table4Row corresponds to two consecutive points.
+func TestTable4Golden(t *testing.T) {
+	p := phys.Projected()
+	exp, err := explore.Lookup("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{Phys: p, Parallel: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := cqla.Table4(p)
+	if len(pts) != 2*len(rows) {
+		t.Fatalf("engine produced %d points for %d table rows", len(pts), len(rows))
+	}
+	for i, row := range rows {
+		st, bs := pts[2*i], pts[2*i+1]
+		for _, pt := range []explore.Point{st, bs} {
+			if got := pt.Coords[0].Int(); got != row.InputSize {
+				t.Fatalf("row %d: engine point has size %d, want %d", i, got, row.InputSize)
+			}
+			if got := int(pt.MustMetric("blocks")); got != row.Blocks {
+				t.Fatalf("row %d: engine point has %d blocks, want %d", i, got, row.Blocks)
+			}
+		}
+		if st.Coords[2].Str() != "steane" || bs.Coords[2].Str() != "bacon-shor" {
+			t.Fatalf("row %d: unexpected code order %q, %q", i, st.Coords[2].Str(), bs.Coords[2].Str())
+		}
+		check := func(name string, got, want float64) {
+			if got != want {
+				t.Errorf("row %d (n=%d k=%d): %s = %v, want exactly %v",
+					i, row.InputSize, row.Blocks, name, got, want)
+			}
+		}
+		check("steane area", st.MustMetric("area_reduction"), row.AreaReducedSteane)
+		check("steane speedup", st.MustMetric("speedup"), row.SpeedupSteane)
+		check("steane gain", st.MustMetric("gain_product"), row.GainProductSteane)
+		check("bacon-shor area", bs.MustMetric("area_reduction"), row.AreaReducedBS)
+		check("bacon-shor speedup", bs.MustMetric("speedup"), row.SpeedupBS)
+		check("bacon-shor gain", bs.MustMetric("gain_product"), row.GainProductBS)
+	}
+}
+
+// TestParetoFrontierMarks sanity-checks the cross-point Post hook: at
+// least one point is on the frontier, the best gain product is on it, and
+// no frontier point is dominated.
+func TestParetoFrontierMarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pareto sweep is expensive")
+	}
+	exp, err := explore.Lookup("pareto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{Phys: phys.Projected(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier := 0
+	bestGain, bestOn := 0.0, false
+	for _, pt := range pts {
+		on := pt.MustMetric("on_frontier") == 1
+		if on {
+			frontier++
+		}
+		if g := pt.MustMetric("gain_product"); g > bestGain {
+			bestGain, bestOn = g, on
+		}
+	}
+	if frontier == 0 {
+		t.Fatal("no point marked on the Pareto frontier")
+	}
+	if !bestOn {
+		t.Error("the best-gain-product point is not on the frontier")
+	}
+	for _, pt := range pts {
+		if pt.MustMetric("on_frontier") != 1 {
+			continue
+		}
+		for _, other := range pts {
+			if other.MustMetric("area_reduction") > pt.MustMetric("area_reduction") &&
+				other.MustMetric("adder_speedup") > pt.MustMetric("adder_speedup") {
+				t.Fatalf("frontier point %d is dominated by point %d", pt.Index, other.Index)
+			}
+		}
+	}
+}

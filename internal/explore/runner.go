@@ -1,0 +1,174 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/phys"
+)
+
+// Options configures one sweep run.
+type Options struct {
+	// Phys is the ion-trap technology point handed to every evaluator.
+	Phys phys.Params
+	// Parallel is the worker count; 0 or less selects GOMAXPROCS. The
+	// result is identical at any setting — only wall-clock time changes.
+	Parallel int
+	// Seed is the base seed that per-point seeds derive from.
+	Seed int64
+	// Progress, if non-nil, is called after each point completes with the
+	// running count and the sweep total. Calls are serialized and the
+	// count is monotone.
+	Progress func(done, total int)
+}
+
+// Run walks the experiment's cartesian product across a worker pool and
+// returns one Point per configuration, in product order. Repeated
+// coordinates (axes listing the same value twice) are evaluated once and
+// shared. Run returns the context's error if it is canceled mid-sweep,
+// or the first evaluator error, canceling the remaining points either way.
+func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
+	if exp == nil {
+		return nil, fmt.Errorf("explore: Run with nil experiment")
+	}
+	if exp.Eval == nil {
+		return nil, fmt.Errorf("explore: experiment %q has no evaluator", exp.Name)
+	}
+	total := exp.Size()
+	if total == 0 {
+		return nil, fmt.Errorf("explore: experiment %q has an empty design space", exp.Name)
+	}
+
+	// Memoize repeated points: group product indices by coordinate key and
+	// evaluate one representative per group.
+	type group struct {
+		rep  int // representative product index
+		idxs []int
+	}
+	var uniq []*group
+	seen := make(map[string]*group)
+	keys := make([]string, 0, total)
+	for i := 0; i < total; i++ {
+		k := key(exp.coordsAt(i))
+		g, ok := seen[k]
+		if !ok {
+			g = &group{rep: i}
+			seen[k] = g
+			uniq = append(uniq, g)
+			keys = append(keys, k)
+		}
+		g.idxs = append(g.idxs, i)
+	}
+
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	results := make([][]Metric, len(uniq))
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if runCtx.Err() != nil {
+					continue
+				}
+				g := uniq[j]
+				in := In{
+					Phys:   opt.Phys,
+					Seed:   pointSeed(opt.Seed, exp.Name, keys[j]),
+					exp:    exp,
+					coords: exp.coordsAt(g.rep),
+				}
+				ms, err := exp.Eval(runCtx, in)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("explore: %s point %d: %w", exp.Name, g.rep, err)
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				results[j] = ms
+				mu.Lock()
+				done += len(g.idxs)
+				if opt.Progress != nil {
+					opt.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for j := range uniq {
+		select {
+		case jobs <- j:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Assemble in product order; each point gets its own metric slice so a
+	// Post hook can edit one member of a memoized group without aliasing
+	// the others.
+	pts := make([]Point, total)
+	for j, g := range uniq {
+		for _, i := range g.idxs {
+			pts[i] = Point{
+				Index:   i,
+				Coords:  exp.coordsAt(i),
+				Metrics: append([]Metric(nil), results[j]...),
+			}
+		}
+	}
+	if exp.Post != nil {
+		pts = exp.Post(pts)
+	}
+	return pts, nil
+}
+
+// pointSeed derives the per-point seed from the base seed, the experiment
+// name and the coordinate key — never from evaluation order — so results
+// are reproducible at any parallelism.
+func pointSeed(base int64, exp, key string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, exp)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	v := h.Sum64() + uint64(base)*0x9e3779b97f4a7c15
+	// splitmix64 finalizer: decorrelates nearby base seeds.
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int64(v)
+}
