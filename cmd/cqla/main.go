@@ -6,14 +6,17 @@
 // Usage:
 //
 //	cqla [-current] <experiment>
-//	cqla sweep <name> [-format text|json|csv] [-parallel N] [-seed S]
+//	cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
+//	cqla serve [-addr :8400]
 //
 // Most experiments live in the explore registry and accept either form:
 // the first prints an aligned text table, the second adds machine-readable
-// output, a worker-pool parallelism knob and deterministic seeding. A few
-// artifacts whose output is not a point set (the Figure 2 parallelism
-// profile, the ASCII floorplan, the discrete-event overlap check) keep
-// hand-laid layouts.
+// output, an evaluation-engine switch (the closed-form model or the
+// discrete-event simulator, both behind the internal/arch API), a
+// worker-pool parallelism knob and deterministic seeding. `cqla serve`
+// exposes the same registry over HTTP. A few artifacts whose output is not
+// a point set (the Figure 2 parallelism profile, the ASCII floorplan, the
+// discrete-event overlap check) keep hand-laid layouts.
 package main
 
 import (
@@ -22,20 +25,18 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
-	"time"
 
-	"repro/internal/circuit"
+	"repro/internal/arch"
 	"repro/internal/cqla"
-	"repro/internal/des"
 	"repro/internal/ecc"
 	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/layout"
 	"repro/internal/phys"
-	"repro/internal/sched"
 )
 
 // specials are the artifacts that are not point sweeps: their output is a
@@ -63,6 +64,10 @@ func main() {
 		runSweep(flag.Args()[1:], *current)
 		return
 	}
+	if name == "serve" {
+		runServe(flag.Args()[1:])
+		return
+	}
 	if flag.NArg() > 1 {
 		fmt.Fprintf(os.Stderr, "cqla: unexpected arguments after %q: %q (for sweep flags use: cqla sweep %s [flags])\n\n", name, flag.Args()[1:], name)
 		usage()
@@ -84,7 +89,7 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		emitSweep(exp, p, "text", 0, 1, false)
+		emitSweep(exp, p, "text", arch.EngineAnalytic, 0, 1, false)
 	}
 }
 
@@ -98,7 +103,7 @@ func runAll(p phys.Params) {
 	}
 	for _, e := range explore.Experiments() {
 		fmt.Printf("==== sweep %s ====\n", e.Name)
-		emitSweep(e, p, "text", 0, 1, false)
+		emitSweep(e, p, "text", arch.EngineAnalytic, 0, 1, false)
 		fmt.Println()
 	}
 }
@@ -107,6 +112,7 @@ func runAll(p phys.Params) {
 func runSweep(args []string, current bool) {
 	fs := flag.NewFlagSet("cqla sweep", flag.ExitOnError)
 	format := fs.String("format", "text", "output format: text, json or csv")
+	engine := fs.String("engine", "analytic", "evaluation engine for machine-backed sweeps: analytic or des")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "base seed for stochastic sweeps")
 	cur := fs.Bool("current", current, "use currently demonstrated ion-trap parameters instead of projected")
@@ -138,19 +144,49 @@ func runSweep(args []string, current bool) {
 		fmt.Fprintf(os.Stderr, "cqla: unknown format %q (have %s)\n", *format, strings.Join(explore.Formats(), ", "))
 		os.Exit(2)
 	}
+	eng, err := arch.NormalizeEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqla: %v\n", err)
+		os.Exit(2)
+	}
 	p := phys.Projected()
 	if *cur {
 		p = phys.Current()
 	}
-	emitSweep(exp, p, *format, *parallel, *seed, *progress)
+	emitSweep(exp, p, *format, eng, *parallel, *seed, *progress)
 }
 
-// emitSweep runs one registered experiment through the engine and writes
-// it to stdout in the requested format.
-func emitSweep(exp *explore.Experiment, p phys.Params, format string, parallel int, seed int64, progress bool) {
+// runServe handles `cqla serve [flags]`: the registry-driven HTTP API.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("cqla serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8400", "listen address")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: cqla serve [flags]
+
+Serves the sweep registry as a JSON API:
+  GET  /v1/sweeps             list registered sweeps
+  POST /v1/sweeps/{name}:run  run one; body {"phys","seed","parallel","engine"}
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "cqla: unexpected arguments: %q\n\n", fs.Args())
+		fs.Usage()
+		os.Exit(2)
+	}
+	log.Printf("cqla: serving %d sweeps on %s", len(explore.Names()), *addr)
+	log.Fatal(http.ListenAndServe(*addr, explore.NewServer()))
+}
+
+// emitSweep runs one registered experiment through the exploration engine
+// and writes it to stdout in the requested format.
+func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, parallel int, seed int64, progress bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := explore.Options{Phys: p, Parallel: parallel, Seed: seed}
+	opts := explore.Options{Phys: p, Parallel: parallel, Seed: seed, Engine: engine}
 	if progress {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcqla: %s %d/%d points", exp.Name, done, total)
@@ -166,7 +202,7 @@ func emitSweep(exp *explore.Experiment, p phys.Params, format string, parallel i
 		}
 		log.Fatalf("cqla: sweep %s: %v", exp.Name, err)
 	}
-	r := &explore.Report{Experiment: exp, Phys: p.Name, Seed: seed, Points: pts}
+	r := &explore.Report{Experiment: exp, Phys: p.Name, Seed: seed, Engine: engine, Points: pts}
 	if err := r.Emit(os.Stdout, format); err != nil {
 		log.Fatalf("cqla: emit %s: %v", exp.Name, err)
 	}
@@ -193,7 +229,8 @@ func listSweeps(w io.Writer) {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
-       cqla sweep <name> [-format text|json|csv] [-parallel N] [-seed S]
+       cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
+       cqla serve [-addr :8400]
 
 Hand-laid artifacts:
   table1     physical operation parameters (Table 1)
@@ -203,7 +240,8 @@ Hand-laid artifacts:
   all        everything: the artifacts above plus every registered sweep
 
 Registered sweeps (run directly for a text table, or through
-`+"`cqla sweep <name>`"+` for json/csv output, -parallel and -seed):
+`+"`cqla sweep <name>`"+` for json/csv output, -engine, -parallel and
+-seed; `+"`cqla serve`"+` exposes the same registry over HTTP):
 `)
 	listSweeps(os.Stderr)
 }
@@ -264,27 +302,37 @@ func floorplan(p phys.Params) {
 	fmt.Print(f.ASCII(72))
 }
 
+// overlap checks the communication-overlap claim through the unified
+// evaluation API: the same 64-bit adder workload runs on the des engine at
+// increasing channel counts.
 func overlap(p phys.Params) {
-	bs := ecc.BaconShor()
 	ad := gen.CarryLookahead(64)
 	fmt.Println("discrete-event execution of the 64-bit adder (Bacon-Shor L2, 9 blocks):")
 	fmt.Printf("%-10s %-12s %-12s %-10s %-10s\n", "channels", "makespan", "stall", "hidden", "chan-util")
-	dag := circuit.BuildDAG(ad.Circuit)
-	computeOnly := time.Duration(sched.ListSchedule(dag, 9).MakespanSlots) * bs.ECTime(2, p)
+	computeOnly := 0.0
 	for _, ch := range []int{1, 2, 4, 8, 12} {
-		stats, err := des.Run(ad.Circuit, des.Config{
-			Blocks:         9,
-			Channels:       ch,
-			ResidentQubits: 2 * ad.Circuit.NumQubits(),
-			SlotTime:       bs.ECTime(2, p),
-			TransportTime:  bs.TransversalGateTime(2, p),
-		})
+		m, err := arch.New(
+			arch.WithCodeName("bacon-shor"),
+			arch.WithParams(p),
+			arch.WithBlocks(9),
+			arch.WithSimChannels(ch),
+			arch.WithSimResidency(2*ad.Circuit.NumQubits()),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err := m.Engine(arch.EngineDES)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Evaluate(context.Background(), arch.NewAdder(64, false))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10d %-12.1f %-12.1f %-10.2f %-10.2f\n",
-			ch, stats.Makespan.Seconds(), stats.StallTime.Seconds(),
-			des.CommunicationHidden(stats, computeOnly), stats.ChannelUtilization)
+			ch, res.MustMetric("makespan_s"), res.MustMetric("stall_s"),
+			res.MustMetric("communication_hidden"), res.MustMetric("channel_utilization"))
+		computeOnly = res.MustMetric("compute_only_s")
 	}
-	fmt.Printf("compute-only lower bound: %.1f s\n", computeOnly.Seconds())
+	fmt.Printf("compute-only lower bound: %.1f s\n", computeOnly)
 }

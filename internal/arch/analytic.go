@@ -1,0 +1,71 @@
+package arch
+
+import (
+	"context"
+
+	"repro/internal/gen"
+)
+
+// analyticEngine evaluates workloads with the paper's closed-form model:
+// list-scheduled makespans times error-correction slot costs for time, the
+// tile model for area, the QLA of internal/qla as the normalization
+// baseline. It is exact, fast, and blind to dynamic effects — the des
+// engine exists to check it.
+type analyticEngine struct{ m *Machine }
+
+func (analyticEngine) Name() string { return EngineAnalytic }
+
+func (e analyticEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	cm := e.m.cq
+	n := w.Bits
+	switch w.Kind {
+	case KindAdder:
+		// The addition is the kernel of an n-bit modular exponentiation,
+		// whose logical-qubit footprint sets the memory size.
+		q := gen.NewModExp(n).LogicalQubits()
+		area := cm.AreaReduction(q, w.Hierarchy)
+		l2 := cm.SpeedupL2(n)
+		metrics := []Metric{
+			{"area_reduction", area},
+			{"l2_speedup", l2},
+		}
+		if w.Hierarchy {
+			metrics = append(metrics,
+				Metric{"l1_speedup", cm.SpeedupL1(n)},
+				Metric{"adder_speedup", cm.AdderSpeedup(n)},
+				Metric{"gain_product", cm.GainProduct(n, q, true)},
+				Metric{"stall_s", cm.TransferStall().Seconds()},
+				Metric{"l1_time_s", cm.AdderTimeL1(n).Seconds()},
+			)
+		} else {
+			metrics = append(metrics, Metric{"gain_product", area * l2})
+		}
+		metrics = append(metrics,
+			Metric{"l2_time_s", cm.AdderTimeL2(n).Seconds()},
+			Metric{"qla_time_s", cm.QLAAdderTime(n).Seconds()},
+		)
+		return e.m.result(EngineAnalytic, w, metrics), nil
+	case KindModExp:
+		t := cm.ModExpTimes(n)
+		q := gen.NewModExp(n).LogicalQubits()
+		return e.m.result(EngineAnalytic, w, []Metric{
+			{"computation_s", t.Computation.Seconds()},
+			{"communication_s", t.Communication.Seconds()},
+			{"total_s", (t.Computation + t.Communication).Seconds()},
+			{"area_reduction", cm.AreaReduction(q, w.Hierarchy)},
+		}), nil
+	default: // KindQFT, by Validate
+		t := cm.QFTTimes(n)
+		return e.m.result(EngineAnalytic, w, []Metric{
+			{"computation_s", t.Computation.Seconds()},
+			{"communication_s", t.Communication.Seconds()},
+			{"total_s", (t.Computation + t.Communication).Seconds()},
+		}), nil
+	}
+}

@@ -1,0 +1,65 @@
+package arch
+
+import (
+	"context"
+	"fmt"
+)
+
+// Engine evaluates workloads on the machine it was obtained from. The two
+// implementations answer the same question two ways: "analytic" computes
+// the paper's closed-form area/performance model, "des" measures a
+// discrete-event execution of the actual circuit on explicit resources.
+type Engine interface {
+	// Name returns the engine's registry name.
+	Name() string
+	// Evaluate runs the workload and returns the metric envelope. It
+	// honors ctx for long evaluations.
+	Evaluate(ctx context.Context, w Workload) (Result, error)
+}
+
+// Engine registry names.
+const (
+	EngineAnalytic = "analytic"
+	EngineDES      = "des"
+)
+
+// EngineNames lists the available engines, default first.
+func EngineNames() []string { return []string{EngineAnalytic, EngineDES} }
+
+// NormalizeEngine canonicalizes an engine name: empty selects the
+// analytic default and "sim" aliases the discrete-event engine. Unknown
+// names are errors.
+func NormalizeEngine(name string) (string, error) {
+	switch name {
+	case "", EngineAnalytic:
+		return EngineAnalytic, nil
+	case EngineDES, "sim":
+		return EngineDES, nil
+	}
+	return "", fmt.Errorf("arch: unknown engine %q (have %v)", name, EngineNames())
+}
+
+// Engine returns the named evaluation engine bound to this machine.
+func (m *Machine) Engine(name string) (Engine, error) {
+	canonical, err := NormalizeEngine(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canonical {
+	case EngineAnalytic:
+		return analyticEngine{m: m}, nil
+	default:
+		return simEngine{m: m}, nil
+	}
+}
+
+// result assembles the envelope for one evaluation of this machine.
+func (m *Machine) result(engine string, w Workload, metrics []Metric) Result {
+	return Result{
+		SchemaVersion: SchemaVersion,
+		Engine:        engine,
+		Workload:      w,
+		Config:        m.cfg,
+		Metrics:       metrics,
+	}
+}

@@ -1,0 +1,35 @@
+package arch_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+)
+
+// ExampleNew evaluates the paper's best working point — the 256-bit
+// Bacon-Shor CQLA with the memory hierarchy — through the analytic engine
+// and reads two headline metrics from the Result envelope.
+func ExampleNew() {
+	m, err := arch.New(
+		arch.WithCodeName("bacon-shor"),
+		arch.WithBlocks(36),
+		arch.WithTransfers(10),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := m.Engine(arch.EngineAnalytic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Evaluate(context.Background(), arch.NewAdder(256, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s v%d: area x%.1f, adder speedup x%.1f\n",
+		res.Engine, res.SchemaVersion,
+		res.MustMetric("area_reduction"), res.MustMetric("adder_speedup"))
+	// Output: analytic v1: area x7.8, adder speedup x7.6
+}

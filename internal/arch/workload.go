@@ -1,0 +1,55 @@
+package arch
+
+import "fmt"
+
+// Kind names a workload family the engines know how to evaluate.
+type Kind string
+
+const (
+	// KindAdder is the paper's kernel: one n-bit carry-lookahead addition,
+	// evaluated inside an n-bit modular exponentiation's memory footprint.
+	KindAdder Kind = "adder"
+	// KindModExp is the full modular exponentiation of Shor's algorithm at
+	// n bits (Figure 8a's computation-vs-communication study).
+	KindModExp Kind = "modexp"
+	// KindQFT is the n-qubit quantum Fourier transform (Figure 8b's
+	// communication-bound contrast).
+	KindQFT Kind = "qft"
+)
+
+// Workload describes what the machine is asked to run. It is part of the
+// Result envelope, so its JSON field order is fixed.
+type Workload struct {
+	// Kind selects the workload family.
+	Kind Kind `json:"kind"`
+	// Bits is the problem size: adder/modexp input bits or QFT width.
+	Bits int `json:"bits"`
+	// Hierarchy includes the level-1 cache + compute tier in area and
+	// blended-speedup metrics (Table 5's view rather than Table 4's).
+	Hierarchy bool `json:"hierarchy"`
+}
+
+// NewAdder describes one n-bit addition, with or without the memory
+// hierarchy's level-1 tier.
+func NewAdder(bits int, hierarchy bool) Workload {
+	return Workload{Kind: KindAdder, Bits: bits, Hierarchy: hierarchy}
+}
+
+// NewModExp describes an n-bit modular exponentiation.
+func NewModExp(bits int) Workload { return Workload{Kind: KindModExp, Bits: bits} }
+
+// NewQFT describes an n-qubit quantum Fourier transform.
+func NewQFT(bits int) Workload { return Workload{Kind: KindQFT, Bits: bits} }
+
+// Validate reports whether the workload is well-formed.
+func (w Workload) Validate() error {
+	switch w.Kind {
+	case KindAdder, KindModExp, KindQFT:
+	default:
+		return fmt.Errorf("arch: unknown workload kind %q", w.Kind)
+	}
+	if w.Bits < 2 {
+		return fmt.Errorf("arch: %s workload of %d bits, need at least 2", w.Kind, w.Bits)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package cqla
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -250,7 +251,7 @@ func (m *Machine) ModExpTimes(n int) AppTimes {
 
 	transport := mesh.TransportTime(m.cfg.Code, 2, m.cfg.Params)
 	operands := 2*n + 1
-	perimeterChannels := 4.0 * sqrtF(float64(m.cfg.ComputeBlocks))
+	perimeterChannels := 4.0 * math.Sqrt(float64(m.cfg.ComputeBlocks))
 	commPerAdder := float64(operands) * float64(transport) / perimeterChannels
 	comm := time.Duration(float64(me.AdderCalls()) / float64(me.ConcurrentAdders()) * commPerAdder)
 	return AppTimes{ProblemSize: n, Computation: comp, Communication: comm}
@@ -266,18 +267,6 @@ func (m *Machine) QFTTimes(n int) AppTimes {
 	comp := time.Duration(gates*CPhaseSlots) * m.SlotTime(2)
 	comm := time.Duration(gates) * mesh.TransportTime(m.cfg.Code, 2, m.cfg.Params)
 	return AppTimes{ProblemSize: n, Computation: comp, Communication: comm}
-}
-
-func sqrtF(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	// Newton iterations suffice; avoids importing math for one call site.
-	g := x
-	for i := 0; i < 40; i++ {
-		g = 0.5 * (g + x/g)
-	}
-	return g
 }
 
 // Fig8a computes Figure 8(a) across the paper's adder sizes using each

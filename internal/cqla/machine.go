@@ -104,13 +104,17 @@ type adderSchedule struct {
 	makespans map[int]int
 }
 
-// New returns a Machine for the given configuration.
-func New(cfg Config) *Machine {
+// NewMachine returns a Machine for the given configuration, or an error
+// describing what is wrong with it. The Config retains its historical
+// zero-value sentinels (zero CacheFactor and TransferOverlap select the
+// paper defaults; NoTransferOverlap selects literal zero overlap); the
+// sentinel-free construction path is arch.New in internal/arch.
+func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.Code == nil {
-		panic("cqla: nil code")
+		return nil, fmt.Errorf("cqla: nil code")
 	}
 	if cfg.ComputeBlocks < 1 {
-		panic(fmt.Sprintf("cqla: %d compute blocks", cfg.ComputeBlocks))
+		return nil, fmt.Errorf("cqla: %d compute blocks", cfg.ComputeBlocks)
 	}
 	if cfg.ParallelTransfers < 1 {
 		cfg.ParallelTransfers = 1
@@ -124,9 +128,19 @@ func New(cfg Config) *Machine {
 	case cfg.TransferOverlap < 0:
 		cfg.TransferOverlap = 0
 	case cfg.TransferOverlap > 1:
-		panic(fmt.Sprintf("cqla: transfer overlap %g > 1", cfg.TransferOverlap))
+		return nil, fmt.Errorf("cqla: transfer overlap %g > 1", cfg.TransferOverlap)
 	}
-	return &Machine{cfg: cfg, baseline: qla.New(), adders: make(map[int]*adderSchedule)}
+	return &Machine{cfg: cfg, baseline: qla.NewWith(cfg.Params), adders: make(map[int]*adderSchedule)}, nil
+}
+
+// New is NewMachine for call sites that treat a bad configuration as a
+// programmer error: it panics instead of returning the error.
+func New(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
 }
 
 // Config returns the machine's configuration.
@@ -261,8 +275,11 @@ func (m *Machine) Level1Blocks() int {
 func (m *Machine) TransferStall() time.Duration {
 	c := m.cfg.Code
 	qubits := int(m.cfg.CacheFactor * float64(m.Level1Blocks()*BlockDataQubits))
-	width := float64(m.cfg.ParallelTransfers) / float64(c.ChannelsRequired())
-	batches := int(float64(qubits)/width + 0.999999)
+	// Each transfer occupies ChannelsRequired network channels, so a batch
+	// moves ParallelTransfers/ChannelsRequired qubits; the batch count is
+	// the exact integer ceiling of qubits over that width.
+	demand := qubits * c.ChannelsRequired()
+	batches := (demand + m.cfg.ParallelTransfers - 1) / m.cfg.ParallelTransfers
 	rt := transfer.RoundTrip(transfer.Enc(c, 2), transfer.Enc(c, 1))
 	return time.Duration((1 - m.cfg.TransferOverlap) * float64(batches) * float64(rt))
 }

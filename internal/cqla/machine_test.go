@@ -2,9 +2,11 @@ package cqla
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/phys"
+	"repro/internal/transfer"
 )
 
 func steaneMachine(blocks int) *Machine {
@@ -227,6 +229,64 @@ func TestNewValidation(t *testing.T) {
 	m := New(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 4})
 	if m.Config().ParallelTransfers != 1 {
 		t.Error("parallel transfers should default to 1")
+	}
+}
+
+func TestNewMachineErrors(t *testing.T) {
+	if _, err := NewMachine(Config{Code: nil, Params: phys.Projected(), ComputeBlocks: 4}); err == nil {
+		t.Error("nil code should be rejected")
+	}
+	if _, err := NewMachine(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 0}); err == nil {
+		t.Error("zero compute blocks should be rejected")
+	}
+	if _, err := NewMachine(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 4, TransferOverlap: 1.5}); err == nil {
+		t.Error("overlap > 1 should be rejected")
+	}
+	m, err := NewMachine(Config{Code: ecc.Steane(), Params: phys.Projected(), ComputeBlocks: 4})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if m.Config().CacheFactor != CacheFactor || m.Config().TransferOverlap != TransferOverlap {
+		t.Error("zero-value sentinels should resolve to the paper defaults")
+	}
+}
+
+// TestTransferStallExactCeiling pins the batch count at the divisibility
+// boundary: when the cache qubits divide the effective transfer width
+// exactly, the stall must correspond to exactly qubits/width batches — the
+// old float-epsilon ceiling (+0.999999) must not round an extra batch in,
+// and the integer ceiling must not drop one.
+func TestTransferStallExactCeiling(t *testing.T) {
+	rt := transfer.RoundTrip(
+		transfer.Enc(ecc.Steane(), 2),
+		transfer.Enc(ecc.Steane(), 1),
+	)
+	stallFor := func(parallel int) time.Duration {
+		// One block, cache factor 1: exactly BlockDataQubits (9) cache
+		// qubits; Steane needs one channel per transfer.
+		m := New(Config{
+			Code:              ecc.Steane(),
+			Params:            phys.Projected(),
+			ComputeBlocks:     1,
+			ParallelTransfers: parallel,
+			CacheFactor:       1,
+		})
+		return m.TransferStall()
+	}
+	batchesFor := func(parallel int) float64 {
+		return float64(stallFor(parallel)) / ((1 - TransferOverlap) * float64(rt))
+	}
+	// 9 qubits over width 9: exactly one batch, not two.
+	if got := batchesFor(9); got < 0.99 || got > 1.01 {
+		t.Errorf("9 qubits / width 9 = %.4f batches, want exactly 1", got)
+	}
+	// 9 qubits over width 3: exactly three batches.
+	if got := batchesFor(3); got < 2.99 || got > 3.01 {
+		t.Errorf("9 qubits / width 3 = %.4f batches, want exactly 3", got)
+	}
+	// 9 qubits over width 8: one qubit spills into a second batch.
+	if got := batchesFor(8); got < 1.99 || got > 2.01 {
+		t.Errorf("9 qubits / width 8 = %.4f batches, want exactly 2", got)
 	}
 }
 

@@ -11,6 +11,7 @@ package des
 import (
 	"container/heap"
 	"container/list"
+	"context"
 	"fmt"
 	"time"
 
@@ -145,6 +146,12 @@ func (r *residency) unpin(q int) { r.pins[q]-- }
 // Run simulates the circuit on the configured machine and returns the
 // measured statistics. All qubits start in memory.
 func Run(c *circuit.Circuit, cfg Config) (Stats, error) {
+	return RunContext(context.Background(), c, cfg)
+}
+
+// RunContext is Run with cancellation: a long simulation aborts with the
+// context's error at the next event-loop check.
+func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, error) {
 	if cfg.Blocks < 1 || cfg.Channels < 1 {
 		return Stats{}, fmt.Errorf("des: need at least one block and one channel")
 	}
@@ -278,7 +285,13 @@ func Run(c *circuit.Circuit, cfg Config) (Stats, error) {
 	pump()
 	stalledInstrs = len(pending) + window
 
+	loops := 0
 	for events.Len() > 0 {
+		if loops++; loops&1023 == 1 {
+			if err := ctx.Err(); err != nil {
+				return Stats{}, err
+			}
+		}
 		ev := heap.Pop(&events).(event)
 		accountStall(ev.at)
 		now = ev.at

@@ -9,6 +9,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"repro/internal/arch"
 )
 
 // Report bundles a completed sweep with the metadata needed to regenerate
@@ -18,7 +20,10 @@ type Report struct {
 	// Phys names the technology point the sweep ran under.
 	Phys string
 	// Seed is the base seed the sweep ran with.
-	Seed   int64
+	Seed int64
+	// Engine names the arch evaluation engine the sweep ran through
+	// (empty renders as the analytic default).
+	Engine string
 	Points []Point
 }
 
@@ -79,14 +84,24 @@ func formatMetricJSON(v float64) string {
 	return formatMetric(v)
 }
 
-// JSON writes the sweep as a self-describing JSON document. The encoding
-// is hand-ordered (params in axis order, metrics in evaluator order) so
-// the same sweep always produces byte-identical output, whatever the
-// runner's parallelism.
+// engineName renders the report's engine, defaulting empty to analytic so
+// pre-engine callers keep emitting truthful documents.
+func (r *Report) engineName() string {
+	if r.Engine == "" {
+		return arch.EngineAnalytic
+	}
+	return r.Engine
+}
+
+// JSON writes the sweep as a self-describing JSON document sharing the
+// arch.Result envelope conventions (schema_version first, engine echo).
+// The encoding is hand-ordered (params in axis order, metrics in evaluator
+// order) so the same sweep always produces byte-identical output, whatever
+// the runner's parallelism.
 func (r *Report) JSON(w io.Writer) error {
 	b := bufio.NewWriter(w)
-	fmt.Fprintf(b, "{\n  \"experiment\": %s,\n  \"title\": %s,\n  \"phys\": %s,\n  \"seed\": %d,\n  \"points\": [",
-		jsonQuote(r.Experiment.Name), jsonQuote(r.Experiment.Title), jsonQuote(r.Phys), r.Seed)
+	fmt.Fprintf(b, "{\n  \"schema_version\": %d,\n  \"experiment\": %s,\n  \"title\": %s,\n  \"phys\": %s,\n  \"seed\": %d,\n  \"engine\": %s,\n  \"points\": [",
+		arch.SchemaVersion, jsonQuote(r.Experiment.Name), jsonQuote(r.Experiment.Title), jsonQuote(r.Phys), r.Seed, jsonQuote(r.engineName()))
 	for i, p := range r.Points {
 		if i > 0 {
 			b.WriteString(",")
@@ -185,8 +200,8 @@ func (r *Report) Text(w io.Writer) error {
 	}
 
 	b := bufio.NewWriter(w)
-	fmt.Fprintf(b, "%s: %s (%s, seed %d, %d points)\n",
-		r.Experiment.Name, r.Experiment.Title, r.Phys, r.Seed, len(r.Points))
+	fmt.Fprintf(b, "%s: %s (%s, seed %d, engine %s, %d points)\n",
+		r.Experiment.Name, r.Experiment.Title, r.Phys, r.Seed, r.engineName(), len(r.Points))
 	for _, row := range rows {
 		for i, cell := range row {
 			if i > 0 {

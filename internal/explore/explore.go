@@ -35,6 +35,19 @@ const (
 	String
 )
 
+// String names the kind for listings and the serve endpoint.
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	}
+	return fmt.Sprintf("explore.Kind(%d)", uint8(k))
+}
+
 // Value is one coordinate setting along an axis: a tagged union over the
 // parameter kinds of the CQLA design space.
 type Value struct {

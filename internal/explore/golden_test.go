@@ -56,6 +56,125 @@ func TestTable4Golden(t *testing.T) {
 	}
 }
 
+// TestTable5Golden routes the Table 5 experiment through the engine (and
+// therefore through arch's analytic engine) and demands exact agreement
+// with the hand-coded serial path cqla.Table5. The experiment's product
+// order — code x transfers x size, size fastest — matches the row order of
+// the hand-coded loop, so points and rows correspond one to one.
+func TestTable5Golden(t *testing.T) {
+	p := phys.Projected()
+	exp, err := explore.Lookup("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{Phys: p, Parallel: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := cqla.Table5(p)
+	if len(pts) != len(rows) {
+		t.Fatalf("engine produced %d points for %d table rows", len(pts), len(rows))
+	}
+	for i, row := range rows {
+		pt := pts[i]
+		if got := pt.Coords[1].Int(); got != row.ParallelTransfers {
+			t.Fatalf("row %d: engine point has %d transfers, want %d", i, got, row.ParallelTransfers)
+		}
+		if got := pt.Coords[2].Int(); got != row.AdderSize {
+			t.Fatalf("row %d: engine point has size %d, want %d", i, got, row.AdderSize)
+		}
+		check := func(name string, got, want float64) {
+			if got != want {
+				t.Errorf("row %d (%s xfer=%d n=%d): %s = %v, want exactly %v",
+					i, row.Code, row.ParallelTransfers, row.AdderSize, name, got, want)
+			}
+		}
+		check("l1_speedup", pt.MustMetric("l1_speedup"), row.L1Speedup)
+		check("l2_speedup", pt.MustMetric("l2_speedup"), row.L2Speedup)
+		check("adder_speedup", pt.MustMetric("adder_speedup"), row.AdderSpeedup)
+		check("area_reduction", pt.MustMetric("area_reduction"), row.AreaReduced)
+		check("gain_product", pt.MustMetric("gain_product"), row.GainProduct)
+	}
+}
+
+// TestFig7Golden pins the cache-hit-rate sweep to the hand-coded cqla.Fig7
+// path, exactly.
+func TestFig7Golden(t *testing.T) {
+	p := phys.Projected()
+	exp, err := explore.Lookup("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{Phys: p, Parallel: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := cqla.Fig7(p)
+	if len(pts) != len(rows) {
+		t.Fatalf("engine produced %d points for %d figure rows", len(pts), len(rows))
+	}
+	for i, row := range rows {
+		pt := pts[i]
+		if got := pt.Coords[0].Int(); got != row.AdderSize {
+			t.Fatalf("row %d: engine point has size %d, want %d", i, got, row.AdderSize)
+		}
+		if got := int(pt.MustMetric("cache_qubits")); got != row.CacheSize {
+			t.Errorf("row %d: cache_qubits = %d, want %d", i, got, row.CacheSize)
+		}
+		if got := pt.MustMetric("naive_hit"); got != row.NaiveRate {
+			t.Errorf("row %d: naive_hit = %v, want exactly %v", i, got, row.NaiveRate)
+		}
+		if got := pt.MustMetric("optimized_hit"); got != row.OptimRate {
+			t.Errorf("row %d: optimized_hit = %v, want exactly %v", i, got, row.OptimRate)
+		}
+	}
+}
+
+// TestEngineAxisDES runs the acceptance path: table4, table5 and the new
+// xval sweep all evaluate with -engine des and come back with populated
+// simulation envelopes.
+func TestEngineAxisDES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("discrete-event sweeps are expensive")
+	}
+	p := phys.Projected()
+	cases := []struct {
+		sweep  string
+		metric string // a simulation-only metric that must be present and positive
+	}{
+		{"table4", "makespan_s"},
+		{"table5", "makespan_s"},
+		{"xval", "des_makespan_s"},
+	}
+	for _, c := range cases {
+		exp, err := explore.Lookup(c.sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := explore.Run(context.Background(), exp, explore.Options{Phys: p, Seed: 1, Engine: "des"})
+		if err != nil {
+			t.Fatalf("%s -engine des: %v", c.sweep, err)
+		}
+		if len(pts) != exp.Size() {
+			t.Fatalf("%s: %d points, want %d", c.sweep, len(pts), exp.Size())
+		}
+		for _, pt := range pts {
+			v, err := pt.Metric(c.metric)
+			if err != nil {
+				t.Fatalf("%s point %d: %v (metrics %v)", c.sweep, pt.Index, err, pt.Metrics)
+			}
+			if v <= 0 {
+				t.Errorf("%s point %d: %s = %g, want > 0", c.sweep, pt.Index, c.metric, v)
+			}
+		}
+	}
+	// The engine axis must reject unknown names before evaluating.
+	exp, _ := explore.Lookup("table4")
+	if _, err := explore.Run(context.Background(), exp, explore.Options{Phys: p, Engine: "abacus"}); err == nil {
+		t.Error("unknown engine should fail the run")
+	}
+}
+
 // TestParetoFrontierMarks sanity-checks the cross-point Post hook: at
 // least one point is on the frontier, the best gain product is on it, and
 // no frontier point is dominated.

@@ -19,6 +19,10 @@ type In struct {
 	Phys phys.Params
 	// Seed is the deterministic per-point seed for stochastic evaluators.
 	Seed int64
+	// Engine is the canonical arch evaluation engine for the sweep
+	// ("analytic" or "des"). Machine-backed experiments route their
+	// evaluation through it; experiments with no machine model ignore it.
+	Engine string
 
 	exp    *Experiment
 	coords []Value

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/arch"
 	"repro/internal/phys"
 )
 
@@ -20,6 +21,11 @@ type Options struct {
 	Parallel int
 	// Seed is the base seed that per-point seeds derive from.
 	Seed int64
+	// Engine selects the arch evaluation engine machine-backed experiments
+	// run through: "analytic" (or empty, the default closed-form model) or
+	// "des" (discrete-event simulation). Unknown names fail the run before
+	// any point evaluates.
+	Engine string
 	// Progress, if non-nil, is called after each point completes with the
 	// running count and the sweep total. Calls are serialized and the
 	// count is monotone.
@@ -41,6 +47,10 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 	total := exp.Size()
 	if total == 0 {
 		return nil, fmt.Errorf("explore: experiment %q has an empty design space", exp.Name)
+	}
+	engine, err := arch.NormalizeEngine(opt.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
 	}
 
 	// Memoize repeated points: group product indices by coordinate key and
@@ -95,6 +105,7 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 				in := In{
 					Phys:   opt.Phys,
 					Seed:   pointSeed(opt.Seed, exp.Name, keys[j]),
+					Engine: engine,
 					exp:    exp,
 					coords: exp.coordsAt(g.rep),
 				}

@@ -1,0 +1,157 @@
+package explore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/phys"
+)
+
+// NewServer returns the registry-driven HTTP API behind `cqla serve`: a
+// JSON view of every registered sweep and an endpoint that runs one and
+// streams the same envelope the CLI emitters produce.
+//
+//	GET  /v1/sweeps              list every registered experiment
+//	POST /v1/sweeps/{name}:run   run one sweep, JSON report response
+//
+// The run request body is optional JSON:
+//
+//	{"phys": "projected"|"current", "seed": 1, "parallel": 0,
+//	 "engine": "analytic"|"des"}
+//
+// Every field defaults like the CLI flags. The sweep runs under the
+// request's context, so a disconnecting client cancels the computation.
+func NewServer() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps", handleListSweeps)
+	mux.HandleFunc("POST /v1/sweeps/{op}", handleRunSweep)
+	return mux
+}
+
+// sweepInfo is one registry entry in the listing response.
+type sweepInfo struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title"`
+	Points int        `json:"points"`
+	Axes   []axisInfo `json:"axes"`
+}
+
+type axisInfo struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Values []Value `json:"values"`
+}
+
+func handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		SchemaVersion int         `json:"schema_version"`
+		Engines       []string    `json:"engines"`
+		Sweeps        []sweepInfo `json:"sweeps"`
+	}
+	out := listing{SchemaVersion: arch.SchemaVersion, Engines: arch.EngineNames()}
+	for _, e := range Experiments() {
+		info := sweepInfo{Name: e.Name, Title: e.Title, Points: e.Size()}
+		for _, a := range e.Axes {
+			kind := Int
+			if len(a.Values) > 0 {
+				kind = a.Values[0].Kind()
+			}
+			info.Axes = append(info.Axes, axisInfo{Name: a.Name, Kind: kind.String(), Values: a.Values})
+		}
+		out.Sweeps = append(out.Sweeps, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runRequest is the optional POST body of a sweep run.
+type runRequest struct {
+	Phys     string `json:"phys"`
+	Seed     int64  `json:"seed"`
+	Parallel int    `json:"parallel"`
+	Engine   string `json:"engine"`
+}
+
+func handleRunSweep(w http.ResponseWriter, r *http.Request) {
+	op := r.PathValue("op")
+	name, ok := strings.CutSuffix(op, ":run")
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q (want {name}:run)", op))
+		return
+	}
+	exp, err := Lookup(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	req := runRequest{Phys: "projected", Seed: 1}
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	p, err := physByName(req.Phys)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine, err := arch.NormalizeEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pts, err := Run(r.Context(), exp, Options{
+		Phys:     p,
+		Parallel: req.Parallel,
+		Seed:     req.Seed,
+		Engine:   engine,
+	})
+	if err != nil {
+		// The registry is open: an evaluator error is a server-side fault,
+		// a canceled request context is the client's.
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = 499 // client closed request
+		}
+		writeError(w, status, err)
+		return
+	}
+	rep := &Report{Experiment: exp, Phys: p.Name, Seed: req.Seed, Engine: engine, Points: pts}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	// Report.JSON is the CLI emitter: the endpoint serves byte-identical
+	// documents to `cqla sweep <name> -format json`.
+	if err := rep.JSON(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// physByName resolves the request's technology point.
+func physByName(name string) (phys.Params, error) {
+	switch name {
+	case "", "projected":
+		return phys.Projected(), nil
+	case "current":
+		return phys.Current(), nil
+	}
+	return phys.Params{}, fmt.Errorf("unknown phys %q (have projected, current)", name)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/cqla"
 	"repro/internal/ecc"
@@ -30,21 +31,52 @@ func init() {
 	Register(paretoExp())
 	Register(overlapSensExp())
 	Register(monteCarloExp())
+	Register(xvalExp())
 }
 
-// codeNames lists the region codes as axis values; codeByName resolves
-// them back to ecc constructors.
-func codeNames() []string { return []string{"steane", "bacon-shor"} }
+// archMachine builds the unified-API machine at one design point, on the
+// sweep's technology point.
+func archMachine(in In, opts ...arch.Option) (*arch.Machine, error) {
+	return arch.New(append([]arch.Option{arch.WithParams(in.Phys)}, opts...)...)
+}
 
-func codeByName(name string) (*ecc.Code, error) {
-	switch name {
-	case "steane":
-		return ecc.Steane(), nil
-	case "bacon-shor":
-		return ecc.BaconShor(), nil
+// archEvaluate routes a workload through the engine the sweep was run
+// with (`cqla sweep <name> -engine analytic|des`).
+func archEvaluate(ctx context.Context, in In, m *arch.Machine, w arch.Workload) (arch.Result, error) {
+	eng, err := m.Engine(in.Engine)
+	if err != nil {
+		return arch.Result{}, err
 	}
-	return nil, fmt.Errorf("unknown code %q", name)
+	return eng.Evaluate(ctx, w)
 }
+
+// metricsFrom flattens a Result envelope into sweep metrics after any
+// leading extras (e.g. the resolved block budget).
+func metricsFrom(res arch.Result, extra ...Metric) []Metric {
+	out := append([]Metric{}, extra...)
+	for _, m := range res.Metrics {
+		out = append(out, Metric{m.Name, m.Value})
+	}
+	return out
+}
+
+// pickMetrics reads named metrics from an envelope, in order.
+func pickMetrics(res arch.Result, names ...string) ([]float64, error) {
+	out := make([]float64, len(names))
+	for i, n := range names {
+		v, err := res.Metric(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// codeNames lists the region codes as axis values; arch.CodeByName
+// resolves them back to ecc constructors, so the axis and the machine
+// builder share one registry.
+func codeNames() []string { return arch.CodeNames() }
 
 // budgetBlocks resolves Table 4's per-size block budgets ("lo" and "hi"
 // columns) for one input size.
@@ -71,7 +103,7 @@ func table2Exp() *Experiment {
 			Ints("level", 1, 2),
 		},
 		Eval: func(_ context.Context, in In) ([]Metric, error) {
-			c, err := codeByName(in.Str("code"))
+			c, err := arch.CodeByName(in.Str("code"))
 			if err != nil {
 				return nil, err
 			}
@@ -130,25 +162,38 @@ func table4Exp() *Experiment {
 			Strings("budget", "lo", "hi"),
 			Strings("code", codeNames()...),
 		},
-		Eval: func(_ context.Context, in In) ([]Metric, error) {
-			code, err := codeByName(in.Str("code"))
-			if err != nil {
-				return nil, err
-			}
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			n := in.Int("size")
 			blocks, err := budgetBlocks(n, in.Str("budget"))
 			if err != nil {
 				return nil, err
 			}
-			m := cqla.New(cqla.Config{Code: code, Params: in.Phys, ComputeBlocks: blocks, ParallelTransfers: 10})
-			q := gen.NewModExp(n).LogicalQubits()
-			area := m.AreaReduction(q, false)
-			speed := m.SpeedupL2(n)
+			m, err := archMachine(in,
+				arch.WithCodeName(in.Str("code")),
+				arch.WithBlocks(blocks),
+				arch.WithTransfers(10),
+			)
+			if err != nil {
+				return nil, err
+			}
+			res, err := archEvaluate(ctx, in, m, arch.NewAdder(n, false))
+			if err != nil {
+				return nil, err
+			}
+			if res.Engine != arch.EngineAnalytic {
+				return metricsFrom(res, Metric{"blocks", float64(blocks)}), nil
+			}
+			// The analytic path keeps Table 4's historical metric names —
+			// the golden test demands bitwise agreement with cqla.Table4.
+			v, err := pickMetrics(res, "area_reduction", "l2_speedup", "gain_product")
+			if err != nil {
+				return nil, err
+			}
 			return []Metric{
 				{"blocks", float64(blocks)},
-				{"area_reduction", area},
-				{"speedup", speed},
-				{"gain_product", area * speed},
+				{"area_reduction", v[0]},
+				{"speedup", v[1]},
+				{"gain_product", v[2]},
 			}, nil
 		},
 	}
@@ -163,25 +208,38 @@ func table5Exp() *Experiment {
 			Ints("transfers", 10, 5),
 			Ints("size", cqla.Table5Sizes()...),
 		},
-		Eval: func(_ context.Context, in In) ([]Metric, error) {
-			code, err := codeByName(in.Str("code"))
-			if err != nil {
-				return nil, err
-			}
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			n := in.Int("size")
 			blocks, err := budgetBlocks(n, "lo")
 			if err != nil {
 				return nil, err
 			}
-			m := cqla.New(cqla.Config{Code: code, Params: in.Phys, ComputeBlocks: blocks, ParallelTransfers: in.Int("transfers")})
-			q := gen.NewModExp(n).LogicalQubits()
+			m, err := archMachine(in,
+				arch.WithCodeName(in.Str("code")),
+				arch.WithBlocks(blocks),
+				arch.WithTransfers(in.Int("transfers")),
+			)
+			if err != nil {
+				return nil, err
+			}
+			res, err := archEvaluate(ctx, in, m, arch.NewAdder(n, true))
+			if err != nil {
+				return nil, err
+			}
+			if res.Engine != arch.EngineAnalytic {
+				return metricsFrom(res, Metric{"blocks", float64(blocks)}), nil
+			}
+			v, err := pickMetrics(res, "l1_speedup", "l2_speedup", "adder_speedup", "area_reduction", "gain_product")
+			if err != nil {
+				return nil, err
+			}
 			return []Metric{
 				{"blocks", float64(blocks)},
-				{"l1_speedup", m.SpeedupL1(n)},
-				{"l2_speedup", m.SpeedupL2(n)},
-				{"adder_speedup", m.AdderSpeedup(n)},
-				{"area_reduction", m.AreaReduction(q, true)},
-				{"gain_product", m.GainProduct(n, q, true)},
+				{"l1_speedup", v[0]},
+				{"l2_speedup", v[1]},
+				{"adder_speedup", v[2]},
+				{"area_reduction", v[3]},
+				{"gain_product", v[4]},
 			}, nil
 		},
 	}
@@ -276,18 +334,25 @@ func fig8aExp() *Experiment {
 		Name:  "fig8a",
 		Title: "modular exponentiation computation vs communication (Figure 8a)",
 		Axes:  []Axis{Ints("size", cqla.PaperInputSizes()...)},
-		Eval: func(_ context.Context, in In) ([]Metric, error) {
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			n := in.Int("size")
 			blocks, err := budgetBlocks(n, "lo")
 			if err != nil {
 				return nil, err
 			}
-			m := cqla.New(cqla.Config{Code: ecc.BaconShor(), Params: in.Phys, ComputeBlocks: blocks, ParallelTransfers: 10})
-			t := m.ModExpTimes(n)
-			return []Metric{
-				{"computation_s", t.Computation.Seconds()},
-				{"communication_s", t.Communication.Seconds()},
-			}, nil
+			m, err := archMachine(in,
+				arch.WithCodeName("bacon-shor"),
+				arch.WithBlocks(blocks),
+				arch.WithTransfers(10),
+			)
+			if err != nil {
+				return nil, err
+			}
+			res, err := archEvaluate(ctx, in, m, arch.NewModExp(n))
+			if err != nil {
+				return nil, err
+			}
+			return metricsFrom(res), nil
 		},
 	}
 }
@@ -297,13 +362,20 @@ func fig8bExp() *Experiment {
 		Name:  "fig8b",
 		Title: "QFT computation vs communication (Figure 8b)",
 		Axes:  []Axis{Ints("size", cqla.Fig8bSizes()...)},
-		Eval: func(_ context.Context, in In) ([]Metric, error) {
-			m := cqla.New(cqla.Config{Code: ecc.BaconShor(), Params: in.Phys, ComputeBlocks: 36, ParallelTransfers: 10})
-			t := m.QFTTimes(in.Int("size"))
-			return []Metric{
-				{"computation_s", t.Computation.Seconds()},
-				{"communication_s", t.Communication.Seconds()},
-			}, nil
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
+			m, err := archMachine(in,
+				arch.WithCodeName("bacon-shor"),
+				arch.WithBlocks(36),
+				arch.WithTransfers(10),
+			)
+			if err != nil {
+				return nil, err
+			}
+			res, err := archEvaluate(ctx, in, m, arch.NewQFT(in.Int("size")))
+			if err != nil {
+				return nil, err
+			}
+			return metricsFrom(res), nil
 		},
 	}
 }
@@ -321,20 +393,35 @@ func paretoExp() *Experiment {
 			Ints("blocks", 4, 9, 16, 25, 36, 49, 64, 81, 100),
 			Floats("cache_factor", 0.5, 1, 2, 3, 4),
 		},
-		Eval: func(_ context.Context, in In) ([]Metric, error) {
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			const n = 256
-			m := cqla.New(cqla.Config{
-				Code:              ecc.BaconShor(),
-				Params:            in.Phys,
-				ComputeBlocks:     in.Int("blocks"),
-				ParallelTransfers: 10,
-				CacheFactor:       in.Float("cache_factor"),
-			})
-			q := gen.NewModExp(n).LogicalQubits()
+			m, err := archMachine(in,
+				arch.WithCodeName("bacon-shor"),
+				arch.WithBlocks(in.Int("blocks")),
+				arch.WithTransfers(10),
+				arch.WithCacheFactor(in.Float("cache_factor")),
+			)
+			if err != nil {
+				return nil, err
+			}
+			// The frontier marks compare closed-form blended speedups, so
+			// this sweep always evaluates analytically whatever -engine is.
+			eng, err := m.Engine(arch.EngineAnalytic)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Evaluate(ctx, arch.NewAdder(n, true))
+			if err != nil {
+				return nil, err
+			}
+			v, err := pickMetrics(res, "area_reduction", "adder_speedup", "gain_product")
+			if err != nil {
+				return nil, err
+			}
 			return []Metric{
-				{"area_reduction", m.AreaReduction(q, true)},
-				{"adder_speedup", m.AdderSpeedup(n)},
-				{"gain_product", m.GainProduct(n, q, true)},
+				{"area_reduction", v[0]},
+				{"adder_speedup", v[1]},
+				{"gain_product", v[2]},
 			}, nil
 		},
 		Post: func(pts []Point) []Point {
@@ -371,23 +458,104 @@ func overlapSensExp() *Experiment {
 			Floats("overlap", 0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
 			Ints("transfers", 5, 10, 20),
 		},
-		Eval: func(_ context.Context, in In) ([]Metric, error) {
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			const n = 256
-			ov := in.Float("overlap")
-			if ov == 0 {
-				ov = cqla.NoTransferOverlap // zero-value would mean "default"
+			// arch options are literal — overlap 0 means none, no sentinel
+			// dance required.
+			m, err := archMachine(in,
+				arch.WithCodeName("bacon-shor"),
+				arch.WithBlocks(36),
+				arch.WithTransfers(in.Int("transfers")),
+				arch.WithTransferOverlap(in.Float("overlap")),
+			)
+			if err != nil {
+				return nil, err
 			}
-			m := cqla.New(cqla.Config{
-				Code:              ecc.BaconShor(),
-				Params:            in.Phys,
-				ComputeBlocks:     36,
-				ParallelTransfers: in.Int("transfers"),
-				TransferOverlap:   ov,
-			})
+			// Stall and blended speedup are closed-form quantities; the
+			// sweep pins the analytic engine.
+			eng, err := m.Engine(arch.EngineAnalytic)
+			if err != nil {
+				return nil, err
+			}
+			res, err := eng.Evaluate(ctx, arch.NewAdder(n, true))
+			if err != nil {
+				return nil, err
+			}
+			v, err := pickMetrics(res, "stall_s", "l1_speedup", "adder_speedup")
+			if err != nil {
+				return nil, err
+			}
 			return []Metric{
-				{"stall_s", m.TransferStall().Seconds()},
-				{"l1_speedup", m.SpeedupL1(n)},
-				{"adder_speedup", m.AdderSpeedup(n)},
+				{"stall_s", v[0]},
+				{"l1_speedup", v[1]},
+				{"adder_speedup", v[2]},
+			}, nil
+		},
+	}
+}
+
+// xvalExp cross-validates the closed-form model against the discrete-event
+// simulator on the adder kernel: both engines evaluate the same machine
+// and workload through the arch API, and the sweep reports the level-2
+// time from each side plus their ratio. A ratio near 1 (the DES dispatches
+// FIFO rather than critical-path-first, so it trails slightly) is the
+// engines agreeing; communication_hidden confirms the no-memory-wall claim
+// at the same points.
+func xvalExp() *Experiment {
+	return &Experiment{
+		Name:  "xval",
+		Title: "analytic vs discrete-event cross-validation on the adder kernel",
+		Axes: []Axis{
+			Ints("size", 32, 64, 128),
+			Strings("code", codeNames()...),
+		},
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
+			n := in.Int("size")
+			blocks, err := budgetBlocks(n, "lo")
+			if err != nil {
+				return nil, err
+			}
+			m, err := archMachine(in,
+				arch.WithCodeName(in.Str("code")),
+				arch.WithBlocks(blocks),
+				arch.WithTransfers(10),
+			)
+			if err != nil {
+				return nil, err
+			}
+			w := arch.NewAdder(n, false)
+			analytic, err := m.Engine(arch.EngineAnalytic)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := m.Engine(arch.EngineDES)
+			if err != nil {
+				return nil, err
+			}
+			a, err := analytic.Evaluate(ctx, w)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.Evaluate(ctx, w)
+			if err != nil {
+				return nil, err
+			}
+			av, err := pickMetrics(a, "l2_time_s", "l2_speedup")
+			if err != nil {
+				return nil, err
+			}
+			sv, err := pickMetrics(s, "makespan_s", "sim_speedup", "communication_hidden")
+			if err != nil {
+				return nil, err
+			}
+			return []Metric{
+				{"blocks", float64(blocks)},
+				{"analytic_l2_s", av[0]},
+				{"des_makespan_s", sv[0]},
+				{"des_over_analytic", sv[0] / av[0]},
+				{"l2_speedup", av[1]},
+				{"sim_speedup", sv[1]},
+				{"communication_hidden", sv[2]},
 			}, nil
 		},
 	}
@@ -409,7 +577,7 @@ func monteCarloExp() *Experiment {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			c, err := codeByName(in.Str("code"))
+			c, err := arch.CodeByName(in.Str("code"))
 			if err != nil {
 				return nil, err
 			}

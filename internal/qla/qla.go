@@ -33,8 +33,13 @@ type Model struct {
 
 // New returns the paper's baseline: Steane [[7,1,3]] at level 2 on
 // projected ion-trap parameters.
-func New() Model {
-	return Model{Code: ecc.Steane(), Level: 2, Params: phys.Projected()}
+func New() Model { return NewWith(phys.Projected()) }
+
+// NewWith returns the baseline at the given technology point, so a CQLA
+// evaluated on currently demonstrated parameters is normalized against a
+// QLA built from the same technology rather than always the projected one.
+func NewWith(p phys.Params) Model {
+	return Model{Code: ecc.Steane(), Level: 2, Params: p}
 }
 
 // TileAreaMM2 returns the area of one logical data qubit with its two
