@@ -29,6 +29,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/cqla"
@@ -156,16 +158,31 @@ func runSweep(args []string, current bool) {
 	emitSweep(exp, p, *format, eng, *parallel, *seed, *progress)
 }
 
-// runServe handles `cqla serve [flags]`: the registry-driven HTTP API.
+// runServe handles `cqla serve [flags]`: the registry-driven HTTP API
+// behind a production-shaped http.Server — read/write timeouts, a job
+// manager with result caching, and signal-driven graceful shutdown that
+// drains in-flight jobs before exit.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("cqla serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8400", "listen address")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result-cache LRU budget in bytes (0 disables caching)")
+	maxEval := fs.Int("max-evaluations", 1, "sweep evaluations running at once; further jobs queue")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs and requests")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: cqla serve [flags]
 
 Serves the sweep registry as a JSON API:
-  GET  /v1/sweeps             list registered sweeps
-  POST /v1/sweeps/{name}:run  run one; body {"phys","seed","parallel","engine"}
+  GET  /v1/sweeps              list registered sweeps
+  POST /v1/sweeps/{name}:run   run one; body {"phys","seed","parallel","engine","async"}
+  GET  /v1/jobs                list jobs, newest first
+  GET  /v1/jobs/{id}           job state, progress, report when done
+  GET  /v1/jobs/{id}/report    raw report document of a done job
+
+Identical runs — same (sweep, phys, seed, engine) at any parallelism —
+coalesce onto one evaluation and repeats are served from an in-memory LRU
+cache (the X-Cache response header says which). An {"async": true} run
+returns 202 with a job id to poll. SIGINT/SIGTERM drains in-flight jobs
+for up to -drain before exiting.
 
 Flags:
 `)
@@ -177,8 +194,41 @@ Flags:
 		fs.Usage()
 		os.Exit(2)
 	}
+	api := explore.NewServer(
+		explore.WithCacheBytes(*cacheBytes),
+		explore.WithMaxEvaluations(*maxEval),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second, // request bodies are tiny JSON
+		// Synchronous runs stream only after the sweep finishes, so the
+		// write timeout bounds slow clients, not slow sweeps — but a very
+		// long sweep should still use {"async": true}.
+		WriteTimeout: 10 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("cqla: serving %d sweeps on %s", len(explore.Names()), *addr)
-	log.Fatal(http.ListenAndServe(*addr, explore.NewServer()))
+	select {
+	case err := <-errc:
+		log.Fatal(err) // listen failure: bad address, port in use
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("cqla: signal received; draining jobs (up to %v)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := api.Shutdown(sctx); err != nil {
+			log.Printf("cqla: job drain incomplete: %v", err)
+		}
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("cqla: server shutdown: %v", err)
+		}
+	}
 }
 
 // emitSweep runs one registered experiment through the exploration engine

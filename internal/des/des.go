@@ -328,14 +328,23 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 		}
 	}
 	stats.Makespan = now
-	if stats.Makespan > 0 {
-		stats.BlockUtilization = float64(stats.ComputeBusy) / float64(int(cfg.Blocks)*int(stats.Makespan))
-		stats.ChannelUtilization = float64(stats.TransportBusy) / float64(int(cfg.Channels)*int(stats.Makespan))
-	}
+	stats.BlockUtilization = utilization(stats.ComputeBusy, cfg.Blocks, stats.Makespan)
+	stats.ChannelUtilization = utilization(stats.TransportBusy, cfg.Channels, stats.Makespan)
 	if done != n {
 		return Stats{}, fmt.Errorf("des: finished %d of %d instructions", done, n)
 	}
 	return stats, nil
+}
+
+// utilization returns busy / (units × span) computed entirely in float64:
+// forming the denominator in int truncates time.Duration to 32 bits on
+// 32-bit platforms and overflows int64 once units × span passes ~2⁶³ ns,
+// both of which long simulations on many blocks can reach.
+func utilization(busy time.Duration, units int, span time.Duration) float64 {
+	if units <= 0 || span <= 0 {
+		return 0
+	}
+	return busy.Seconds() / (float64(units) * span.Seconds())
 }
 
 // CommunicationHidden returns the fraction of transport time that did not

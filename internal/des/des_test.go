@@ -211,6 +211,33 @@ func TestDESMatchesSchedulerWhenCommunicationFree(t *testing.T) {
 	}
 }
 
+// TestUtilizationLargeMakespan: the old int arithmetic
+// (busy / (units × int(span))) truncated the span to 32 bits on 32-bit
+// platforms and overflows int64 once units × span passes ~2⁶³ ns. The
+// chosen values put units × span at ~1.7e19 ns — past int64 — with every
+// operand an exact power of two, so the float64 result must be exactly
+// one half.
+func TestUtilizationLargeMakespan(t *testing.T) {
+	span := 4096 * time.Second // 2¹² s
+	units := 1 << 22
+	busy := time.Duration(1<<21) * 4096 * time.Second // units/2 × span
+	if got := utilization(busy, units, span); got != 0.5 {
+		t.Errorf("utilization(%v, %d, %v) = %v, want exactly 0.5", busy, units, span, got)
+	}
+}
+
+func TestUtilizationSmallAndDegenerate(t *testing.T) {
+	if got := utilization(3*time.Second, 2, 3*time.Second); got != 0.5 {
+		t.Errorf("utilization(3s, 2, 3s) = %v, want 0.5", got)
+	}
+	if got := utilization(time.Second, 0, time.Second); got != 0 {
+		t.Errorf("utilization with zero units = %v, want 0", got)
+	}
+	if got := utilization(time.Second, 4, 0); got != 0 {
+		t.Errorf("utilization with zero span = %v, want 0", got)
+	}
+}
+
 func BenchmarkDES64BitAdder(b *testing.B) {
 	ad := gen.CarryLookahead(64)
 	c := cfg(9, 12, 700)

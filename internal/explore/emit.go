@@ -131,7 +131,9 @@ func (r *Report) JSON(w io.Writer) error {
 }
 
 // CSV writes one header row (axis names then metric names) and one row per
-// point. Points missing a metric leave its cell empty.
+// point. Points missing a metric leave its cell empty, and so do
+// non-finite values: CSV has no NaN/Inf convention downstream parsers
+// agree on, so they follow the documented missing-metric rule.
 func (r *Report) CSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	metrics := r.metricNames()
@@ -150,7 +152,7 @@ func (r *Report) CSV(w io.Writer) error {
 		}
 		for _, name := range metrics {
 			cell := ""
-			if v, err := p.Metric(name); err == nil {
+			if v, err := p.Metric(name); err == nil && !math.IsNaN(v) && !math.IsInf(v, 0) {
 				cell = formatMetric(v)
 			}
 			row = append(row, cell)

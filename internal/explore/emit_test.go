@@ -142,6 +142,47 @@ func TestEmitJSONNonFinite(t *testing.T) {
 	}
 }
 
+// TestEmitCSVNonFinite: NaN/Inf cells break downstream CSV parsers, so
+// non-finite metrics emit empty cells — the missing-metric convention.
+func TestEmitCSVNonFinite(t *testing.T) {
+	exp := &explore.Experiment{
+		Name:  "t-csv-nonfinite",
+		Title: "non-finite CSV fixture",
+		Axes:  []explore.Axis{explore.Ints("i", 1)},
+		Eval: func(ctx context.Context, in explore.In) ([]explore.Metric, error) {
+			return []explore.Metric{
+				{Name: "inf", Value: math.Inf(1)},
+				{Name: "neginf", Value: math.Inf(-1)},
+				{Name: "nan", Value: math.NaN()},
+				{Name: "ok", Value: 2.5},
+			}, nil
+		},
+	}
+	pts, err := explore.Run(context.Background(), exp, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r := &explore.Report{Experiment: exp, Phys: "projected", Seed: 1, Points: pts}
+	if err := r.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d CSV records, want header + 1 row", len(recs))
+	}
+	// Columns: i, inf, neginf, nan, ok.
+	row := recs[1]
+	for col, want := range map[int]string{1: "", 2: "", 3: "", 4: "2.5"} {
+		if row[col] != want {
+			t.Errorf("%s cell = %q, want %q (row %v)", recs[0][col], row[col], want, row)
+		}
+	}
+}
+
 func TestEmitUnknownFormat(t *testing.T) {
 	var buf bytes.Buffer
 	err := emitFixture(t).Emit(&buf, "yaml")

@@ -1,0 +1,482 @@
+package explore
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/phys"
+)
+
+// This file is the job subsystem behind `cqla serve`: a content-addressed
+// result cache, a job manager with a bounded global evaluation semaphore,
+// and in-flight coalescing. Sweep output is a pure function of
+// (sweep, phys, seed, engine, schema version) — parallelism only changes
+// wall-clock time, never bytes — so identical requests share one
+// evaluation and repeated ones are served from memory.
+
+// ErrShuttingDown is returned by Manager.Submit once Shutdown has begun.
+var ErrShuttingDown = errors.New("explore: job manager is shutting down")
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for an evaluation slot.
+	JobQueued JobState = "queued"
+	// JobRunning: holding an evaluation slot, points in flight.
+	JobRunning JobState = "running"
+	// JobDone: finished; the report document is available.
+	JobDone JobState = "done"
+	// JobFailed: the evaluation errored; Error carries the cause.
+	JobFailed JobState = "failed"
+)
+
+// JobSpec identifies one run-to-completion sweep evaluation.
+type JobSpec struct {
+	// Sweep is the experiment name; Submit overwrites it from the
+	// experiment so the cache key cannot disagree with the evaluator.
+	Sweep string
+	// Phys is the technology point the sweep runs under.
+	Phys phys.Params
+	// Seed is the base seed.
+	Seed int64
+	// Engine is the arch evaluation engine (canonicalized by Submit).
+	Engine string
+	// Parallel is the runner's worker count. It is deliberately excluded
+	// from Key: output is byte-identical at any parallelism.
+	Parallel int
+}
+
+// Key returns the spec's content address: a digest of every input the
+// report document depends on, including the envelope schema version so a
+// schema bump can never serve stale documents.
+func (s JobSpec) Key() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d\x1f%s\x1f%s\x1f%d\x1f%s",
+		arch.SchemaVersion, s.Sweep, s.Phys.Name, s.Seed, s.Engine)))
+	return hex.EncodeToString(sum[:12])
+}
+
+// Job is one admitted sweep evaluation. Every accessor is safe for
+// concurrent use.
+type Job struct {
+	// ID is the manager-unique job identifier.
+	ID string
+	// Spec is the canonicalized request the job evaluates.
+	Spec JobSpec
+	// Key is Spec.Key(), the cache address of the result.
+	Key string
+
+	finished chan struct{} // closed once state is done or failed
+
+	mu    sync.Mutex
+	state JobState
+	done  int
+	total int
+	doc   []byte
+	err   error
+}
+
+// JobStatus is a point-in-time snapshot of a job, shaped for the API.
+type JobStatus struct {
+	ID     string   `json:"job_id"`
+	Sweep  string   `json:"sweep"`
+	Phys   string   `json:"phys"`
+	Seed   int64    `json:"seed"`
+	Engine string   `json:"engine"`
+	Key    string   `json:"key"`
+	State  JobState `json:"state"`
+	Done   int      `json:"done"`
+	Total  int      `json:"total"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Status returns a consistent snapshot of the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.ID,
+		Sweep:  j.Spec.Sweep,
+		Phys:   j.Spec.Phys.Name,
+		Seed:   j.Spec.Seed,
+		Engine: j.Spec.Engine,
+		Key:    j.Key,
+		State:  j.state,
+		Done:   j.done,
+		Total:  j.total,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Wait blocks until the job finishes or ctx is done, then returns the
+// report document (or the job's failure, or ctx's error). The returned
+// bytes are shared and must not be modified.
+func (j *Job) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-j.finished:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return j.Document()
+}
+
+// Document returns the finished report bytes, the failure of a failed
+// job, or an error naming the non-terminal state.
+func (j *Job) Document() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobDone:
+		return j.doc, nil
+	case JobFailed:
+		return nil, j.err
+	}
+	return nil, fmt.Errorf("explore: job %s is %s, not done", j.ID, j.state)
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *Job) setProgress(done, total int) {
+	j.mu.Lock()
+	j.done, j.total = done, total
+	j.mu.Unlock()
+}
+
+func (j *Job) isFinished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == JobDone || j.state == JobFailed
+}
+
+// managerConfig carries the tunables shared by NewManager and NewServer.
+type managerConfig struct {
+	maxEval    int
+	cacheBytes int64
+	history    int
+}
+
+func defaultManagerConfig() managerConfig {
+	return managerConfig{maxEval: 1, cacheBytes: 64 << 20, history: 256}
+}
+
+// ManagerOption configures a Manager (and, through NewServer, a Server).
+type ManagerOption func(*managerConfig)
+
+// WithMaxEvaluations bounds how many sweep evaluations run at once; the
+// default is 1, so concurrent requests queue behind one full-parallelism
+// worker pool instead of multiplying pools. Values below 1 clamp to 1.
+func WithMaxEvaluations(n int) ManagerOption {
+	return func(c *managerConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.maxEval = n
+	}
+}
+
+// WithCacheBytes sets the result cache's LRU byte budget (default 64 MiB).
+// Zero or negative disables caching; documents larger than the budget are
+// never cached.
+func WithCacheBytes(n int64) ManagerOption {
+	return func(c *managerConfig) { c.cacheBytes = n }
+}
+
+// WithJobHistory caps how many finished job records the manager retains
+// for GET /v1/jobs (default 256). In-flight jobs are never evicted.
+func WithJobHistory(n int) ManagerOption {
+	return func(c *managerConfig) {
+		if n < 1 {
+			n = 1
+		}
+		c.history = n
+	}
+}
+
+// Manager runs sweep evaluations as jobs: admitted requests coalesce by
+// content address, queue on a global evaluation semaphore, publish
+// progress, and land their documents in an LRU result cache.
+type Manager struct {
+	ctx        context.Context
+	cancelJobs context.CancelFunc
+	sem        chan struct{}
+	cache      *docCache
+	history    int
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*Job
+	order    []*Job // creation order; oldest first
+	inflight map[string]*Job
+}
+
+// NewManager returns a Manager ready to accept jobs.
+func NewManager(opts ...ManagerOption) *Manager {
+	cfg := defaultManagerConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		ctx:        ctx,
+		cancelJobs: cancel,
+		sem:        make(chan struct{}, cfg.maxEval),
+		cache:      newDocCache(cfg.cacheBytes),
+		history:    cfg.history,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+	}
+}
+
+// Submit admits one evaluation of exp under spec. A request whose key is
+// already in flight attaches to the running job (coalescing); a key whose
+// document is cached returns an already-done job without evaluating, and
+// the bool reports that cache hit. Jobs run detached from any request
+// context: they are canceled only by Shutdown.
+func (m *Manager) Submit(exp *Experiment, spec JobSpec) (*Job, bool, error) {
+	if exp == nil {
+		return nil, false, fmt.Errorf("explore: Submit with nil experiment")
+	}
+	spec.Sweep = exp.Name
+	engine, err := arch.NormalizeEngine(spec.Engine)
+	if err != nil {
+		return nil, false, err
+	}
+	spec.Engine = engine
+	key := spec.Key()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrShuttingDown
+	}
+	if j := m.inflight[key]; j != nil {
+		return j, false, nil
+	}
+	if doc, ok := m.cache.get(key); ok {
+		j := m.newJobLocked(spec, key, exp.Size())
+		j.state = JobDone
+		j.done = j.total
+		j.doc = doc
+		close(j.finished)
+		m.trimLocked()
+		return j, true, nil
+	}
+	j := m.newJobLocked(spec, key, exp.Size())
+	m.inflight[key] = j
+	m.wg.Add(1)
+	go m.run(j, exp)
+	m.trimLocked()
+	return j, false, nil
+}
+
+// newJobLocked allocates and registers a job; m.mu must be held.
+func (m *Manager) newJobLocked(spec JobSpec, key string, total int) *Job {
+	m.seq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%06d", m.seq),
+		Spec:     spec,
+		Key:      key,
+		finished: make(chan struct{}),
+		state:    JobQueued,
+		total:    total,
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j)
+	return j
+}
+
+// run executes one job: acquire an evaluation slot, run the sweep with
+// progress wired into the job, emit the document, publish the result.
+func (m *Manager) run(j *Job, exp *Experiment) {
+	defer m.wg.Done()
+	select {
+	case m.sem <- struct{}{}:
+	case <-m.ctx.Done():
+		m.finish(j, nil, m.ctx.Err())
+		return
+	}
+	defer func() { <-m.sem }()
+	j.setState(JobRunning)
+	pts, err := Run(m.ctx, exp, Options{
+		Phys:     j.Spec.Phys,
+		Parallel: j.Spec.Parallel,
+		Seed:     j.Spec.Seed,
+		Engine:   j.Spec.Engine,
+		Progress: j.setProgress,
+	})
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+	rep := &Report{Experiment: exp, Phys: j.Spec.Phys.Name, Seed: j.Spec.Seed, Engine: j.Spec.Engine, Points: pts}
+	var buf bytes.Buffer
+	if err := rep.JSON(&buf); err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+	m.finish(j, buf.Bytes(), nil)
+}
+
+// finish publishes the job's outcome. The cache and in-flight table are
+// updated before finished is closed, so a waiter that observed completion
+// can never race ahead of the cache and recompute.
+func (m *Manager) finish(j *Job, doc []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = JobFailed
+		j.err = err
+	} else {
+		j.state = JobDone
+		j.doc = doc
+		j.done = j.total
+	}
+	j.mu.Unlock()
+	if err == nil {
+		m.cache.put(j.Key, doc)
+	}
+	m.mu.Lock()
+	delete(m.inflight, j.Key) // failed jobs drop out too: the next request retries
+	m.trimLocked()
+	m.mu.Unlock()
+	close(j.finished)
+}
+
+// Job returns the identified job, if it is still retained.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns a snapshot of every retained job, newest first.
+func (m *Manager) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		out = append(out, m.order[i].Status())
+	}
+	return out
+}
+
+// trimLocked evicts the oldest finished job records beyond the history
+// cap; m.mu must be held. Jobs still queued or running always survive.
+func (m *Manager) trimLocked() {
+	finished := 0
+	for _, j := range m.order {
+		if j.isFinished() {
+			finished++
+		}
+	}
+	if finished <= m.history {
+		return
+	}
+	keep := m.order[:0]
+	for _, j := range m.order {
+		if finished > m.history && j.isFinished() {
+			delete(m.jobs, j.ID)
+			finished--
+			continue
+		}
+		keep = append(keep, j)
+	}
+	m.order = keep
+}
+
+// Shutdown stops accepting new jobs and drains the admitted ones: queued
+// and running jobs keep evaluating until they finish or ctx expires, at
+// which point the stragglers are canceled and marked failed. It returns
+// nil on a clean drain, ctx's error otherwise.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		m.cancelJobs()
+		return nil
+	case <-ctx.Done():
+		m.cancelJobs()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// docCache is the content-addressed result cache: finished report
+// documents keyed by JobSpec.Key under an LRU byte budget.
+type docCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recently used
+	index  map[string]*list.Element
+}
+
+type docEntry struct {
+	key string
+	doc []byte
+}
+
+func newDocCache(budget int64) *docCache {
+	return &docCache{budget: budget, order: list.New(), index: make(map[string]*list.Element)}
+}
+
+// get returns the cached document and refreshes its recency. The bytes
+// are shared and must not be modified.
+func (c *docCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*docEntry).doc, true
+}
+
+// put inserts the document, evicting least-recently-used entries until
+// the budget holds. Documents larger than the whole budget are not cached
+// at all — one oversized sweep must not flush every other result.
+func (c *docCache) put(key string, doc []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(len(doc)) > c.budget {
+		return
+	}
+	if e, ok := c.index[key]; ok {
+		c.order.MoveToFront(e) // racing jobs computed the same bytes; keep the first
+		return
+	}
+	c.index[key] = c.order.PushFront(&docEntry{key: key, doc: doc})
+	c.used += int64(len(doc))
+	for c.used > c.budget {
+		back := c.order.Back()
+		ent := back.Value.(*docEntry)
+		c.order.Remove(back)
+		delete(c.index, ent.key)
+		c.used -= int64(len(ent.doc))
+	}
+}

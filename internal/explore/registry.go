@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/phys"
@@ -105,6 +106,9 @@ func Register(e *Experiment) {
 	if e.Size() == 0 {
 		panic(fmt.Sprintf("explore: experiment %q has an empty design space", e.Name))
 	}
+	if e.Name != strings.ToLower(e.Name) {
+		panic(fmt.Sprintf("explore: experiment name %q must be lower-case (Lookup is case-insensitive)", e.Name))
+	}
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.m[e.Name]; dup {
@@ -114,10 +118,12 @@ func Register(e *Experiment) {
 }
 
 // Lookup returns the named experiment or an error listing what exists.
+// Matching is case-insensitive, so the CLI, the HTTP API and library
+// callers share one rule instead of each lower-casing on their own.
 func Lookup(name string) (*Experiment, error) {
 	registry.Lock()
 	defer registry.Unlock()
-	e, ok := registry.m[name]
+	e, ok := registry.m[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("explore: unknown experiment %q (have %v)", name, namesLocked())
 	}

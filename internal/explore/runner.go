@@ -2,6 +2,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,12 @@ import (
 	"repro/internal/arch"
 	"repro/internal/phys"
 )
+
+// isCancellation reports whether err is a context teardown rather than a
+// substantive evaluator failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Options configures one sweep run.
 type Options struct {
@@ -112,7 +119,11 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 				ms, err := exp.Eval(runCtx, in)
 				if err != nil {
 					mu.Lock()
-					if firstErr == nil {
+					// Prefer the root cause: a sibling evaluation collapsing
+					// with context.Canceled after a real error tore the sweep
+					// down must not mask that error, whichever reaches the
+					// lock first.
+					if firstErr == nil || (isCancellation(firstErr) && !isCancellation(err)) {
 						firstErr = fmt.Errorf("explore: %s point %d: %w", exp.Name, g.rep, err)
 					}
 					mu.Unlock()
@@ -141,6 +152,12 @@ feed:
 	wg.Wait()
 
 	if firstErr != nil {
+		// A cancellation-only failure is worth reporting as such only when
+		// the parent context really was canceled — and then the parent's
+		// own error is the truthful one.
+		if isCancellation(firstErr) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {

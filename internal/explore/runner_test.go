@@ -6,6 +6,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/explore"
 	"repro/internal/phys"
@@ -103,6 +104,38 @@ func TestEvalErrorCancelsSweep(t *testing.T) {
 	}
 	if n := calls.Load(); n >= 8 {
 		t.Errorf("all %d points evaluated despite an early error", n)
+	}
+}
+
+// TestEvalErrorNotMaskedByCancellation: when one point hits a real
+// evaluator error, sibling in-flight evaluations collapse with
+// context.Canceled; whichever reaches the error slot first, Run must
+// report the root cause, never "context canceled".
+func TestEvalErrorNotMaskedByCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	failing := make(chan struct{})
+	exp := &explore.Experiment{
+		Name: "t-mask",
+		Axes: []explore.Axis{explore.Ints("i", 0, 1, 2, 3)},
+		Eval: func(ctx context.Context, in explore.In) ([]explore.Metric, error) {
+			if in.Int("i") == 0 {
+				close(failing)
+				// Give the collapsing siblings a head start in the race to
+				// record the first error.
+				time.Sleep(5 * time.Millisecond)
+				return nil, boom
+			}
+			select {
+			case <-failing:
+				return nil, context.Canceled
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+	_, err := explore.Run(context.Background(), exp, explore.Options{Parallel: 4})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v; want the evaluator's root-cause error %v", err, boom)
 	}
 }
 

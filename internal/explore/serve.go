@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,26 +13,50 @@ import (
 	"repro/internal/phys"
 )
 
-// NewServer returns the registry-driven HTTP API behind `cqla serve`: a
-// JSON view of every registered sweep and an endpoint that runs one and
-// streams the same envelope the CLI emitters produce.
+// Server is the registry-driven HTTP API behind `cqla serve`: a JSON view
+// of every registered sweep, a run endpoint, and the job API over the
+// Manager in jobs.go.
 //
-//	GET  /v1/sweeps              list every registered experiment
-//	POST /v1/sweeps/{name}:run   run one sweep, JSON report response
+//	GET  /v1/sweeps               list every registered experiment
+//	POST /v1/sweeps/{name}:run    run one sweep (sync, or async via body)
+//	GET  /v1/jobs                 list retained jobs, newest first
+//	GET  /v1/jobs/{id}            job state, progress, report when done
+//	GET  /v1/jobs/{id}/report     raw report document of a done job
 //
 // The run request body is optional JSON:
 //
 //	{"phys": "projected"|"current", "seed": 1, "parallel": 0,
-//	 "engine": "analytic"|"des"}
+//	 "engine": "analytic"|"des", "async": false}
 //
-// Every field defaults like the CLI flags. The sweep runs under the
-// request's context, so a disconnecting client cancels the computation.
-func NewServer() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/sweeps", handleListSweeps)
-	mux.HandleFunc("POST /v1/sweeps/{op}", handleRunSweep)
-	return mux
+// Every field defaults like the CLI flags. Runs are jobs: identical
+// requests — same (sweep, phys, seed, engine) at any parallelism —
+// coalesce onto one evaluation and repeat ones are served from the result
+// cache (the X-Cache header says which). A synchronous run streams the
+// finished document; an async one returns 202 with a job id to poll.
+// Jobs run detached from the request context, so a disconnecting client
+// no longer wastes the computation: the result still lands in the cache.
+type Server struct {
+	mux  *http.ServeMux
+	jobs *Manager
 }
+
+// NewServer returns the HTTP API with a fresh job manager.
+func NewServer(opts ...ManagerOption) *Server {
+	s := &Server{mux: http.NewServeMux(), jobs: NewManager(opts...)}
+	s.mux.HandleFunc("GET /v1/sweeps", handleListSweeps)
+	s.mux.HandleFunc("POST /v1/sweeps/{op}", s.handleRunSweep)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops accepting jobs and drains the in-flight ones; see
+// Manager.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
 
 // sweepInfo is one registry entry in the listing response.
 type sweepInfo struct {
@@ -74,16 +99,19 @@ type runRequest struct {
 	Seed     int64  `json:"seed"`
 	Parallel int    `json:"parallel"`
 	Engine   string `json:"engine"`
+	// Async makes the endpoint return 202 with a job id immediately
+	// instead of streaming the finished document.
+	Async bool `json:"async"`
 }
 
-func handleRunSweep(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) {
 	op := r.PathValue("op")
 	name, ok := strings.CutSuffix(op, ":run")
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q (want {name}:run)", op))
 		return
 	}
-	exp, err := Lookup(name)
+	exp, err := Lookup(name) // case-insensitive, matching the CLI
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
@@ -92,8 +120,15 @@ func handleRunSweep(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if err := dec.Decode(&req); err != nil {
+		if !errors.Is(err, io.EOF) { // a missing body means all-defaults
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	} else if _, err := dec.Token(); err != io.EOF {
+		// A second JSON value or trailing garbage after the request object
+		// is a malformed request, not ignorable padding.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("trailing data after request body"))
 		return
 	}
 	p, err := physByName(req.Phys)
@@ -106,30 +141,99 @@ func handleRunSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	pts, err := Run(r.Context(), exp, Options{
+	job, hit, err := s.jobs.Submit(exp, JobSpec{
 		Phys:     p,
-		Parallel: req.Parallel,
 		Seed:     req.Seed,
 		Engine:   engine,
+		Parallel: req.Parallel,
 	})
 	if err != nil {
-		// The registry is open: an evaluator error is a server-side fault,
-		// a canceled request context is the client's.
 		status := http.StatusInternalServerError
-		if r.Context().Err() != nil {
-			status = 499 // client closed request
+		if errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
 		return
 	}
-	rep := &Report{Experiment: exp, Phys: p.Name, Seed: req.Seed, Engine: engine, Points: pts}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	// Report.JSON is the CLI emitter: the endpoint serves byte-identical
-	// documents to `cqla sweep <name> -format json`.
-	if err := rep.JSON(w); err != nil {
-		// Headers are gone; nothing to do but drop the connection.
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job.Status())
 		return
+	}
+	doc, err := job.Wait(r.Context())
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			writeError(w, 499, err) // client closed request
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, err) // server shutdown
+		default:
+			// The registry is open: an evaluator error is a server-side fault.
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	w.WriteHeader(http.StatusOK)
+	// The document is Report.JSON's output: the endpoint serves
+	// byte-identical documents to `cqla sweep <name> -format json`.
+	w.Write(doc)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: s.jobs.Jobs()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	view := struct {
+		JobStatus
+		Report json.RawMessage `json:"report,omitempty"`
+	}{JobStatus: j.Status()}
+	if view.State == JobDone {
+		if doc, err := j.Document(); err == nil {
+			view.Report = doc
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleJobReport serves the finished document verbatim — the same bytes
+// the synchronous endpoint and the CLI emitter produce.
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case JobDone:
+		doc, err := j.Document()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(doc)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, errors.New(st.Error))
+	default:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", st.ID, st.State))
 	}
 }
 

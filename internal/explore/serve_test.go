@@ -138,6 +138,47 @@ func TestServeMatchesCLIEmitter(t *testing.T) {
 	}
 }
 
+// TestServeCaseInsensitiveSweepName: the CLI lower-cases sweep names, so
+// the HTTP endpoint must accept the same spellings — parity lives in
+// Lookup itself.
+func TestServeCaseInsensitiveSweepName(t *testing.T) {
+	srv := serveTestServer(t)
+	for _, name := range []string{"Table2", "TABLE2"} {
+		resp, err := http.Post(srv.URL+"/v1/sweeps/"+name+":run", "application/json",
+			strings.NewReader(`{"seed": 7}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("POST %s:run: %s, want 200", name, resp.Status)
+		}
+	}
+}
+
+// TestServeRejectsTrailingBody: trailing tokens after the JSON request
+// object are a malformed request, not ignorable padding.
+func TestServeRejectsTrailingBody(t *testing.T) {
+	srv := serveTestServer(t)
+	for _, body := range []string{
+		`{"seed": 1}{"seed": 2}`,
+		`{"seed": 1} trailing garbage`,
+		`{"seed": 1} 42`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/sweeps/table2:run", "application/json",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]string
+		json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400 (%v)", body, resp.StatusCode, doc)
+		}
+	}
+}
+
 func TestServeErrors(t *testing.T) {
 	srv := serveTestServer(t)
 	cases := []struct {
