@@ -299,6 +299,24 @@ func BenchmarkExploreSerial(b *testing.B) { benchExplore(b, 1) }
 // speedup (near-linear until the point count stops covering the workers).
 func BenchmarkExploreParallel(b *testing.B) { benchExplore(b, 0) }
 
+// --- Hot paths under the CI regression gate ------------------------------
+//
+// BenchmarkConcatenatedMCLevel2 (internal/ecc) and BenchmarkDES64BitAdder
+// (internal/des) are also pinned in the gate; they live next to the code
+// they measure.
+
+// BenchmarkMonteCarloXSeeded is a pinned gate benchmark: the seeded,
+// sharded Monte Carlo path the montecarlo sweep runs, across the worker
+// pool (throughput scales with cores; counts do not change).
+func BenchmarkMonteCarloXSeeded(b *testing.B) {
+	c := ecc.Steane()
+	var r ecc.MonteCarloResult
+	for i := 0; i < b.N; i++ {
+		r = c.MonteCarloXSeeded(1e-3, 20000, 42)
+	}
+	b.ReportMetric(float64(r.LogicalFaults), "faults")
+}
+
 // BenchmarkTransferBatch measures the transfer-network batch model.
 func BenchmarkTransferBatch(b *testing.B) {
 	nw := transfer.NewNetwork(10)

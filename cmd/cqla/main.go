@@ -8,6 +8,7 @@
 //	cqla [-current] <experiment>
 //	cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
 //	cqla serve [-addr :8400]
+//	cqla bench [-filter re] [-out BENCH.json]
 //
 // Most experiments live in the explore registry and accept either form:
 // the first prints an aligned text table, the second adds machine-readable
@@ -28,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"regexp"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/layout"
+	"repro/internal/perf"
 	"repro/internal/phys"
 )
 
@@ -68,6 +71,10 @@ func main() {
 	}
 	if name == "serve" {
 		runServe(flag.Args()[1:])
+		return
+	}
+	if name == "bench" {
+		runBench(flag.Args()[1:])
 		return
 	}
 	if flag.NArg() > 1 {
@@ -231,6 +238,84 @@ Flags:
 	}
 }
 
+// runBench handles `cqla bench [flags]`: the perf harness over the
+// registered benchmark suite, emitting the versioned BENCH.json document.
+func runBench(args []string) {
+	fs := flag.NewFlagSet("cqla bench", flag.ExitOnError)
+	filter := fs.String("filter", "", "regexp selecting benchmarks by name (default: all)")
+	out := fs.String("out", "", "write BENCH.json to this path (default: stdout)")
+	list := fs.Bool("list", false, "list registered benchmarks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: cqla bench [-filter re] [-out BENCH.json] [-list]
+
+Runs the registered performance suite through testing.Benchmark and writes
+a versioned, machine-readable report (schema_version %d): ns/op, B/op,
+allocs/op and custom metrics per benchmark, plus host metadata. Progress
+goes to stderr, the JSON document to -out (or stdout).
+
+Flags:
+`, perf.SchemaVersion)
+		fs.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nBenchmarks:\n")
+		listBenchmarks(os.Stderr)
+	}
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "cqla: unexpected arguments: %q\n\n", fs.Args())
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *list {
+		listBenchmarks(os.Stdout)
+		return
+	}
+	opt := perf.Options{
+		Progress: func(done, total int, r perf.Result) {
+			fmt.Fprintf(os.Stderr, "cqla: bench %d/%d %-30s %12.0f ns/op %8d allocs/op\n",
+				done, total, r.Name, r.NsPerOp, r.AllocsPerOp)
+		},
+	}
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			log.Fatalf("cqla: bad -filter: %v", err)
+		}
+		opt.Filter = re
+	}
+	rep, err := perf.Run(opt)
+	if err != nil {
+		log.Fatalf("cqla: %v", err)
+	}
+	if *out == "" || *out == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Fatalf("cqla: write report: %v", err)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("cqla: %v", err)
+	}
+	werr := rep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// Leave no truncated document behind: a half-written BENCH.json
+		// at the target path reads as a valid-looking artifact to CI.
+		os.Remove(*out)
+		log.Fatalf("cqla: write report %s: %v", *out, werr)
+	}
+}
+
+// listBenchmarks prints the perf registry, so newly registered benchmarks
+// appear in usage output automatically.
+func listBenchmarks(w io.Writer) {
+	for _, bm := range perf.Benchmarks() {
+		fmt.Fprintf(w, "  %-30s %s\n", bm.Name, bm.Doc)
+	}
+}
+
 // emitSweep runs one registered experiment through the exploration engine
 // and writes it to stdout in the requested format.
 func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, parallel int, seed int64, progress bool) {
@@ -281,6 +366,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
        cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
        cqla serve [-addr :8400]
+       cqla bench [-filter re] [-out BENCH.json]
 
 Hand-laid artifacts:
   table1     physical operation parameters (Table 1)

@@ -57,13 +57,16 @@ func (e simEngine) desConfig() des.Config {
 // simulate runs one circuit and returns its stats plus the compute-only
 // lower bound (the list-scheduled makespan at the same block count, with
 // communication free), which anchors the communication-hidden metric.
+// The dependency DAG is built once and shared between the simulator and
+// the scheduler — at paper sizes the build costs as much as the whole
+// event loop, so one evaluation pays it a single time.
 func (e simEngine) simulate(ctx context.Context, circ *circuit.Circuit) (des.Stats, time.Duration, error) {
 	cfg := e.desConfig()
-	stats, err := des.RunContext(ctx, circ, cfg)
+	dag := circuit.BuildDAG(circ)
+	stats, err := des.RunDAG(ctx, dag, cfg)
 	if err != nil {
 		return des.Stats{}, 0, err
 	}
-	dag := circuit.BuildDAG(circ)
 	computeOnly := time.Duration(sched.ListSchedule(dag, cfg.Blocks).MakespanSlots) * cfg.SlotTime
 	return stats, computeOnly, nil
 }

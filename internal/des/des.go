@@ -6,11 +6,15 @@
 // evicts cold qubits back to memory. It measures how much communication
 // actually hides beneath error-correction-dominated computation — the
 // paper's "quantum computers do not suffer from the memory wall" claim.
+//
+// The simulator is built for the hot path: the event queue is a concrete
+// generic heap over a pre-sized arena (no interface boxing), the residency
+// set is an intrusive array-backed LRU list, and every per-instruction and
+// per-qubit table is allocated once up front, so a run's allocation cost is
+// a fixed setup independent of how many events it processes.
 package des
 
 import (
-	"container/heap"
-	"container/list"
 	"context"
 	"fmt"
 	"time"
@@ -68,48 +72,76 @@ type event struct {
 	seq  int // tiebreaker for determinism
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess orders events by time with the sequence number breaking ties —
+// a total order, so the pop sequence (and with it every statistic) is
+// independent of heap internals.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+	return a.seq < b.seq
 }
 
 // residency tracks which logical qubits are inside the compute region,
-// with LRU eviction over unpinned qubits.
+// with LRU eviction over unpinned qubits. Qubit ids index directly into
+// the intrusive prev/next arrays, so membership tests, touches and
+// evictions run without hashing or node allocation.
 type residency struct {
-	capacity int
-	order    *list.List
-	index    map[int]*list.Element
-	pins     map[int]int
+	capacity   int
+	size       int
+	head, tail int // most- and least-recently-used resident qubit, -1 if empty
+	prev, next []int32
+	resident   []bool
+	pins       []int32
 }
 
-func newResidency(capacity int) *residency {
+func newResidency(capacity, numQubits int) *residency {
 	return &residency{
 		capacity: capacity,
-		order:    list.New(),
-		index:    make(map[int]*list.Element),
-		pins:     make(map[int]int),
+		head:     -1,
+		tail:     -1,
+		prev:     make([]int32, numQubits),
+		next:     make([]int32, numQubits),
+		resident: make([]bool, numQubits),
+		pins:     make([]int32, numQubits),
 	}
 }
 
-func (r *residency) contains(q int) bool { _, ok := r.index[q]; return ok }
+func (r *residency) contains(q int) bool { return r.resident[q] }
+
+func (r *residency) unlink(q int) {
+	p, n := r.prev[q], r.next[q]
+	if p >= 0 {
+		r.next[p] = n
+	} else {
+		r.head = int(n)
+	}
+	if n >= 0 {
+		r.prev[n] = p
+	} else {
+		r.tail = int(p)
+	}
+	r.resident[q] = false
+	r.size--
+}
+
+func (r *residency) pushFront(q int) {
+	r.prev[q] = -1
+	r.next[q] = int32(r.head)
+	if r.head >= 0 {
+		r.prev[r.head] = int32(q)
+	} else {
+		r.tail = q
+	}
+	r.head = q
+	r.resident[q] = true
+	r.size++
+}
 
 func (r *residency) touch(q int) {
-	if e, ok := r.index[q]; ok {
-		r.order.MoveToFront(e)
+	if r.resident[q] && r.head != q {
+		r.unlink(q)
+		r.pushFront(q)
 	}
 }
 
@@ -117,26 +149,24 @@ func (r *residency) touch(q int) {
 // reports false when no eviction candidate exists (capacity exhausted by
 // pinned qubits) — the caller must retry after pins release.
 func (r *residency) admit(q int) bool {
-	if r.contains(q) {
+	if r.resident[q] {
 		r.touch(q)
 		return true
 	}
-	for r.order.Len() >= r.capacity {
+	for r.size >= r.capacity {
 		victim := -1
-		for e := r.order.Back(); e != nil; e = e.Prev() {
-			cand := e.Value.(int)
-			if r.pins[cand] == 0 {
-				victim = cand
+		for v := r.tail; v >= 0; v = int(r.prev[v]) {
+			if r.pins[v] == 0 {
+				victim = v
 				break
 			}
 		}
 		if victim < 0 {
 			return false
 		}
-		r.order.Remove(r.index[victim])
-		delete(r.index, victim)
+		r.unlink(victim)
 	}
-	r.index[q] = r.order.PushFront(q)
+	r.pushFront(q)
 	return true
 }
 
@@ -152,17 +182,36 @@ func Run(c *circuit.Circuit, cfg Config) (Stats, error) {
 // RunContext is Run with cancellation: a long simulation aborts with the
 // context's error at the next event-loop check.
 func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, error) {
+	if err := validate(cfg); err != nil {
+		return Stats{}, err
+	}
+	return RunDAG(ctx, circuit.BuildDAG(c), cfg)
+}
+
+func validate(cfg Config) error {
 	if cfg.Blocks < 1 || cfg.Channels < 1 {
-		return Stats{}, fmt.Errorf("des: need at least one block and one channel")
+		return fmt.Errorf("des: need at least one block and one channel")
 	}
 	if cfg.ResidentQubits < 3 {
-		return Stats{}, fmt.Errorf("des: residency capacity %d cannot hold a Toffoli's operands", cfg.ResidentQubits)
+		return fmt.Errorf("des: residency capacity %d cannot hold a Toffoli's operands", cfg.ResidentQubits)
 	}
 	if cfg.SlotTime <= 0 || cfg.TransportTime < 0 {
-		return Stats{}, fmt.Errorf("des: invalid timing %v/%v", cfg.SlotTime, cfg.TransportTime)
+		return fmt.Errorf("des: invalid timing %v/%v", cfg.SlotTime, cfg.TransportTime)
 	}
-	d := circuit.BuildDAG(c)
+	return nil
+}
+
+// RunDAG simulates a circuit whose dependency DAG the caller has already
+// built, avoiding a rebuild when the same DAG also feeds other analyses
+// (the arch des engine schedules the identical DAG for its compute-only
+// lower bound).
+func RunDAG(ctx context.Context, d *circuit.DAG, cfg Config) (Stats, error) {
+	if err := validate(cfg); err != nil {
+		return Stats{}, err
+	}
+	c := d.Circuit()
 	n := c.Len()
+	nq := c.NumQubits()
 
 	// Staging window: only a bounded number of dependency-ready
 	// instructions hold operand pins at once, which keeps pin pressure
@@ -172,15 +221,18 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 		winCap = 1
 	}
 
-	remaining := make([]int, n) // unmet dependencies
-	missing := make([]int, n)   // operands not yet resident (window members)
-	pending := []int{}          // dependency-ready, not yet staged
-	window := 0                 // staged instructions currently holding pins
-	fetchQueue := []int{}       // qubits waiting for a channel
-	readyRun := []int{}         // staged with all operands resident
-	inFetch := map[int][]int{}  // qubit -> staged instructions awaiting it
-	res := newResidency(cfg.ResidentQubits)
-	var events eventQueue
+	remaining := make([]int, n)    // unmet dependencies
+	missing := make([]int, n)      // operands not yet resident (window members)
+	pending := newIntQueue(n)      // dependency-ready, not yet staged
+	window := 0                    // staged instructions currently holding pins
+	fetchQueue := newIntQueue(nq)  // qubits waiting for a channel
+	readyRun := newIntQueue(n)     // staged with all operands resident
+	waiters := make([][]int32, nq) // qubit -> staged instructions awaiting it
+	res := newResidency(cfg.ResidentQubits, nq)
+	// Outstanding events are bounded by busy resources: one evInstrDone per
+	// occupied block plus one evFetchDone per occupied channel, so the
+	// arena never grows past this pre-sized capacity.
+	events := newMinHeap[event](cfg.Blocks+cfg.Channels, eventLess)
 	seq := 0
 	now := time.Duration(0)
 	freeBlocks := cfg.Blocks
@@ -192,15 +244,14 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 
 	push := func(at time.Duration, kind eventKind, id int) {
 		seq++
-		heap.Push(&events, event{at: at, kind: kind, id: id, seq: seq})
+		events.push(event{at: at, kind: kind, id: id, seq: seq})
 	}
 
 	// stage admits pending instructions into the window, pinning their
 	// operands and enqueueing fetches for the missing ones.
 	stage := func() {
-		for window < winCap && len(pending) > 0 {
-			i := pending[0]
-			pending = pending[1:]
+		for window < winCap && pending.len() > 0 {
+			i := pending.pop()
 			window++
 			miss := 0
 			for _, q := range c.Instr(i).Operands() {
@@ -210,26 +261,25 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 					continue
 				}
 				miss++
-				waiters := inFetch[q]
-				inFetch[q] = append(waiters, i)
-				if len(waiters) == 0 {
-					fetchQueue = append(fetchQueue, q)
+				if len(waiters[q]) == 0 {
+					fetchQueue.push(q)
 				}
+				waiters[q] = append(waiters[q], int32(i))
 			}
 			missing[i] = miss
 			if miss == 0 {
-				readyRun = append(readyRun, i)
+				readyRun.push(i)
 			}
 		}
 	}
 
 	startFetches := func() {
-		for freeChannels > 0 && len(fetchQueue) > 0 {
-			q := fetchQueue[0]
+		for freeChannels > 0 && fetchQueue.len() > 0 {
+			q := fetchQueue.peek()
 			if !res.admit(q) {
 				break // all residents pinned; retried after pins release
 			}
-			fetchQueue = fetchQueue[1:]
+			fetchQueue.pop()
 			freeChannels--
 			stats.Transports++
 			stats.TransportBusy += cfg.TransportTime
@@ -238,9 +288,8 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 	}
 
 	startInstrs := func() {
-		for freeBlocks > 0 && len(readyRun) > 0 {
-			i := readyRun[0]
-			readyRun = readyRun[1:]
+		for freeBlocks > 0 && readyRun.len() > 0 {
+			i := readyRun.pop()
 			window-- // leaves the staging window; pins persist until done
 			freeBlocks--
 			dur := time.Duration(c.Instr(i).Slots()) * cfg.SlotTime
@@ -265,11 +314,11 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 		// Iterate to a fixed point: staging can unblock fetches, fetch
 		// admission can unblock staging.
 		for {
-			before := len(fetchQueue) + len(readyRun) + len(pending) + freeBlocks + freeChannels
+			before := fetchQueue.len() + readyRun.len() + pending.len() + freeBlocks + freeChannels
 			stage()
 			startFetches()
 			startInstrs()
-			after := len(fetchQueue) + len(readyRun) + len(pending) + freeBlocks + freeChannels
+			after := fetchQueue.len() + readyRun.len() + pending.len() + freeBlocks + freeChannels
 			if before == after {
 				return
 			}
@@ -279,34 +328,33 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 	for i := 0; i < n; i++ {
 		remaining[i] = len(d.Deps(i))
 		if remaining[i] == 0 {
-			pending = append(pending, i)
+			pending.push(i)
 		}
 	}
 	pump()
-	stalledInstrs = len(pending) + window
+	stalledInstrs = pending.len() + window
 
 	loops := 0
-	for events.Len() > 0 {
+	for events.len() > 0 {
 		if loops++; loops&1023 == 1 {
 			if err := ctx.Err(); err != nil {
 				return Stats{}, err
 			}
 		}
-		ev := heap.Pop(&events).(event)
+		ev := events.pop()
 		accountStall(ev.at)
 		now = ev.at
 		switch ev.kind {
 		case evFetchDone:
 			freeChannels++
 			q := ev.id
-			waiters := inFetch[q]
-			delete(inFetch, q)
-			for _, i := range waiters {
+			for _, i := range waiters[q] {
 				missing[i]--
 				if missing[i] == 0 {
-					readyRun = append(readyRun, i)
+					readyRun.push(int(i))
 				}
 			}
+			waiters[q] = waiters[q][:0] // keep the backing array for refetches
 		case evInstrDone:
 			freeBlocks++
 			done++
@@ -317,13 +365,13 @@ func RunContext(ctx context.Context, c *circuit.Circuit, cfg Config) (Stats, err
 			for _, s := range d.Succs(i) {
 				remaining[s]--
 				if remaining[s] == 0 {
-					pending = append(pending, s)
+					pending.push(s)
 				}
 			}
 		}
 		pump()
-		stalledInstrs = len(pending) + window
-		if events.Len() == 0 && done < n {
+		stalledInstrs = pending.len() + window
+		if events.len() == 0 && done < n {
 			return Stats{}, fmt.Errorf("des: deadlock after %d/%d instructions", done, n)
 		}
 	}

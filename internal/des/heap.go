@@ -1,0 +1,93 @@
+package des
+
+// minHeap is a generic binary min-heap over a pre-sized arena. It replaces
+// container/heap on the simulator's hot path: the element type is concrete,
+// so push and pop move values directly instead of boxing every event into
+// an interface{}, and the backing array is allocated once at the caller's
+// known high-water mark (one outstanding event per busy block or channel)
+// so steady-state operation never touches the allocator.
+//
+// The comparator must induce a total order for the simulator to be
+// deterministic; events carry a unique sequence number for exactly that.
+type minHeap[T any] struct {
+	a    []T
+	less func(a, b T) bool
+}
+
+func newMinHeap[T any](capacity int, less func(a, b T) bool) *minHeap[T] {
+	return &minHeap[T]{a: make([]T, 0, capacity), less: less}
+}
+
+func (h *minHeap[T]) len() int { return len(h.a) }
+
+func (h *minHeap[T]) push(v T) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.a[i], h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+func (h *minHeap[T]) pop() T {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	var zero T
+	h.a[last] = zero // release references held by pointer-carrying types
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(h.a[l], h.a[smallest]) {
+			smallest = l
+		}
+		if r < last && h.less(h.a[r], h.a[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+}
+
+// intQueue is a FIFO of ints over a reusable backing slice. Pops advance a
+// head index instead of reslicing away the prefix (the old `q = q[1:]`
+// idiom strands capacity and forces append to reallocate), and the dead
+// prefix is recycled when it outgrows the live region, so a queue sized at
+// construction never allocates again.
+type intQueue struct {
+	buf  []int
+	head int
+}
+
+func newIntQueue(capacity int) *intQueue {
+	return &intQueue{buf: make([]int, 0, capacity)}
+}
+
+func (q *intQueue) len() int { return len(q.buf) - q.head }
+
+func (q *intQueue) push(v int) {
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	} else if q.head > len(q.buf)-q.head {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf, q.head = q.buf[:n], 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+func (q *intQueue) pop() int {
+	v := q.buf[q.head]
+	q.head++
+	return v
+}
+
+func (q *intQueue) peek() int { return q.buf[q.head] }

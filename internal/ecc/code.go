@@ -9,6 +9,7 @@ package ecc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/gf2"
@@ -38,6 +39,46 @@ type Code struct {
 
 	decodeX map[uint64]gf2.Vec // Z-syndrome -> X correction
 	decodeZ map[uint64]gf2.Vec // X-syndrome -> Z correction
+
+	bitX bitDecoder // allocation-free X-error decoding (Monte Carlo hot path)
+	bitZ bitDecoder // allocation-free Z-error decoding
+}
+
+// bitDecoder is the hot-path decoding engine for one error type: the
+// parity-check rows, the total syndrome->correction table and the logical
+// operator are all hoisted into packed uint64 masks at construction, so one
+// decode is a handful of popcounts and a table index — no vectors, no map
+// lookups, no allocations. It is valid for any code this package can build
+// (buildLookup caps N at 20 physical qubits, well inside one word).
+type bitDecoder struct {
+	rows    []uint64 // check-matrix rows as bit masks
+	table   []uint64 // dense syndrome -> minimum-weight correction mask
+	logical uint64   // support of the logical operator the residual must commute with
+}
+
+func newBitDecoder(h *gf2.Matrix, lookup map[uint64]gf2.Vec, logical gf2.Vec) bitDecoder {
+	d := bitDecoder{rows: make([]uint64, h.Rows()), logical: logical.Uint64()}
+	for i := range d.rows {
+		d.rows[i] = h.Row(i).Uint64()
+	}
+	// Unachievable syndromes stay zero in the dense table; they cannot be
+	// produced by any error pattern, so they are never indexed.
+	d.table = make([]uint64, 1<<uint(len(d.rows)))
+	for s, cor := range lookup {
+		d.table[s] = cor.Uint64()
+	}
+	return d
+}
+
+// fault decodes the error mask e and reports whether the residual after
+// applying the minimum-weight correction is a logical fault.
+func (d *bitDecoder) fault(e uint64) bool {
+	var s uint64
+	for i, r := range d.rows {
+		s |= uint64(bits.OnesCount64(e&r)&1) << uint(i)
+	}
+	residual := e ^ d.table[s]
+	return bits.OnesCount64(residual&d.logical)&1 == 1
 }
 
 // resourceProfile carries the code-specific constants of the CQLA timing and
@@ -209,6 +250,8 @@ func Codes() []*Code {
 func (c *Code) buildDecoders() {
 	c.decodeX = buildLookup(c.HZ)
 	c.decodeZ = buildLookup(c.HX)
+	c.bitX = newBitDecoder(c.HZ, c.decodeX, c.LZ)
+	c.bitZ = newBitDecoder(c.HX, c.decodeZ, c.LX)
 }
 
 func buildLookup(h *gf2.Matrix) map[uint64]gf2.Vec {

@@ -1,10 +1,6 @@
 package ecc
 
-import (
-	"math/rand"
-
-	"repro/internal/gf2"
-)
+import "math/rand"
 
 // ConcatenatedMonteCarloX estimates the logical X failure rate of this code
 // concatenated to the given level, by hierarchical sampling: a level-L
@@ -31,8 +27,11 @@ func (c *Code) ConcatenatedMonteCarloX(level int, p float64, trials int, rng *ra
 
 // sampleBlockFaultX samples whether one level-`level` block suffers a
 // logical X fault, by recursively sampling its sub-blocks and decoding.
+// It runs on the precomputed bit decoder — one packed error word per block,
+// no allocations — and draws rng values in the same order the vector-based
+// implementation did, so a fixed stream reproduces the historical counts.
 func (c *Code) sampleBlockFaultX(level int, p float64, rng *rand.Rand) bool {
-	e := gf2.NewVec(c.N)
+	var e uint64
 	for q := 0; q < c.N; q++ {
 		var failed bool
 		if level == 1 {
@@ -41,11 +40,10 @@ func (c *Code) sampleBlockFaultX(level int, p float64, rng *rand.Rand) bool {
 			failed = c.sampleBlockFaultX(level-1, p, rng)
 		}
 		if failed {
-			e.Set(q, true)
+			e |= 1 << uint(q)
 		}
 	}
-	_, fault := c.CorrectX(e)
-	return fault
+	return c.bitX.fault(e)
 }
 
 // PseudoThresholdX estimates the code's level-1 pseudo-threshold for X

@@ -2,6 +2,9 @@ package ecc
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gf2"
 )
@@ -27,42 +30,144 @@ func (r MonteCarloResult) LogicalRate() float64 {
 // to validate the distance of the code and the quadratic suppression of
 // logical errors below threshold, which is what the concatenation math of
 // the architecture model relies on.
+//
+// The trial loop runs entirely on the code's precomputed bit decoder: it
+// performs no allocations, draws exactly one rng value per physical qubit
+// per trial, and a given rng stream produces the same counts it always has.
 func (c *Code) MonteCarloX(p float64, trials int, rng *rand.Rand) MonteCarloResult {
-	return c.monteCarlo(p, trials, rng, c.CorrectX)
+	return c.monteCarlo(p, trials, rng, &c.bitX)
 }
 
 // MonteCarloZ is MonteCarloX for phase-flip errors.
 func (c *Code) MonteCarloZ(p float64, trials int, rng *rand.Rand) MonteCarloResult {
-	return c.monteCarlo(p, trials, rng, c.CorrectZ)
+	return c.monteCarlo(p, trials, rng, &c.bitZ)
 }
 
-// MonteCarloXSeeded runs MonteCarloX on a private source seeded with seed,
-// so concurrent design-space sweeps can evaluate points in any order and
-// still reproduce: the same (p, trials, seed) always returns the same
-// counts.
+// MonteCarloXSeeded runs the X-error injection experiment from a seed, so
+// concurrent design-space sweeps can evaluate points in any order and still
+// reproduce: the same (p, trials, seed) always returns the same counts.
+//
+// The trial budget is split into fixed-size shards, each with a sub-seed
+// derived from (seed, shard index) alone, and the shards are fanned across
+// a worker pool. Because the shard layout depends only on trials — never on
+// worker count or scheduling order — the summed counts are identical at any
+// parallelism, mirroring the explore runner's determinism contract.
 func (c *Code) MonteCarloXSeeded(p float64, trials int, seed int64) MonteCarloResult {
-	return c.MonteCarloX(p, trials, rand.New(rand.NewSource(seed)))
+	return c.monteCarloSeeded(p, trials, seed, 0, &c.bitX)
 }
 
 // MonteCarloZSeeded is MonteCarloXSeeded for phase-flip errors.
 func (c *Code) MonteCarloZSeeded(p float64, trials int, seed int64) MonteCarloResult {
-	return c.MonteCarloZ(p, trials, rand.New(rand.NewSource(seed)))
+	return c.monteCarloSeeded(p, trials, seed, 0, &c.bitZ)
 }
 
-func (c *Code) monteCarlo(p float64, trials int, rng *rand.Rand, correct func(gf2.Vec) (gf2.Vec, bool)) MonteCarloResult {
-	res := MonteCarloResult{Trials: trials, PhysicalRate: p}
+// MonteCarloXSeededParallel is MonteCarloXSeeded with an explicit worker
+// count (0 or less selects GOMAXPROCS). The result is identical at any
+// setting — only wall-clock time changes.
+func (c *Code) MonteCarloXSeededParallel(p float64, trials int, seed int64, workers int) MonteCarloResult {
+	return c.monteCarloSeeded(p, trials, seed, workers, &c.bitX)
+}
+
+// MonteCarloZSeededParallel is MonteCarloXSeededParallel for phase-flip
+// errors.
+func (c *Code) MonteCarloZSeededParallel(p float64, trials int, seed int64, workers int) MonteCarloResult {
+	return c.monteCarloSeeded(p, trials, seed, workers, &c.bitZ)
+}
+
+func (c *Code) monteCarlo(p float64, trials int, rng *rand.Rand, d *bitDecoder) MonteCarloResult {
+	return MonteCarloResult{
+		Trials:        trials,
+		PhysicalRate:  p,
+		LogicalFaults: d.sample(c.N, p, trials, rng),
+	}
+}
+
+// sample runs trials independent injection+decode rounds on one rng stream
+// and returns the logical-fault count. It is the Monte Carlo inner loop:
+// error masks are built bit by bit (one Float64 per qubit, preserving the
+// historical stream consumption) and decoded without allocating.
+func (d *bitDecoder) sample(n int, p float64, trials int, rng *rand.Rand) int {
+	faults := 0
 	for t := 0; t < trials; t++ {
-		e := gf2.NewVec(c.N)
-		for q := 0; q < c.N; q++ {
+		var e uint64
+		for q := 0; q < n; q++ {
 			if rng.Float64() < p {
-				e.Set(q, true)
+				e |= 1 << uint(q)
 			}
 		}
-		if _, fault := correct(e); fault {
-			res.LogicalFaults++
+		if d.fault(e) {
+			faults++
 		}
 	}
+	return faults
+}
+
+// mcShardTrials is the fixed shard size of the seeded Monte Carlo paths.
+// The shard layout is a pure function of the trial budget, which is what
+// makes the parallel result reproducible: workers race over shard indices,
+// not trial ranges.
+const mcShardTrials = 4096
+
+func (c *Code) monteCarloSeeded(p float64, trials int, seed int64, workers int, d *bitDecoder) MonteCarloResult {
+	res := MonteCarloResult{Trials: trials, PhysicalRate: p}
+	if trials <= 0 {
+		return res
+	}
+	shards := (trials + mcShardTrials - 1) / mcShardTrials
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	counts := make([]int, shards)
+	run := func(s int) {
+		size := mcShardTrials
+		if rem := trials - s*mcShardTrials; rem < size {
+			size = rem
+		}
+		rng := rand.New(rand.NewSource(shardSeed(seed, s)))
+		counts[s] = d.sample(c.N, p, size, rng)
+	}
+	if workers == 1 {
+		for s := 0; s < shards; s++ {
+			run(s)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(atomic.AddInt64(&next, 1)) - 1
+					if s >= shards {
+						return
+					}
+					run(s)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, f := range counts {
+		res.LogicalFaults += f
+	}
 	return res
+}
+
+// shardSeed derives the shard's private seed from the base seed and the
+// shard index with a splitmix64 finalizer, so neighbouring shards (and
+// neighbouring base seeds) get decorrelated streams.
+func shardSeed(seed int64, shard int) int64 {
+	v := uint64(seed)*0x9e3779b97f4a7c15 + uint64(shard) + 1
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int64(v)
 }
 
 // CorrectsAllWeight1 exhaustively verifies that every single-qubit X and Z

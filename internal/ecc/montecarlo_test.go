@@ -1,0 +1,123 @@
+package ecc
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// TestBitDecoderMatchesLookup pins the hot-path bit decoder to the
+// reference vector implementation over the complete error space: for every
+// one of the 2^N X- and Z-error patterns of both codes, the packed decode
+// must agree with CorrectX/CorrectZ on whether the pattern is a logical
+// fault. This is the exhaustive guarantee that the Monte Carlo rework
+// changed the speed of decoding, not its meaning.
+func TestBitDecoderMatchesLookup(t *testing.T) {
+	for _, c := range Codes() {
+		for e := uint64(0); e < 1<<uint(c.N); e++ {
+			v := gf2.NewVec(c.N)
+			for q := 0; q < c.N; q++ {
+				if e>>uint(q)&1 == 1 {
+					v.Set(q, true)
+				}
+			}
+			_, wantX := c.CorrectX(v)
+			if got := c.bitX.fault(e); got != wantX {
+				t.Fatalf("%s: bitX.fault(%0*b) = %v, CorrectX says %v", c.Name, c.N, e, got, wantX)
+			}
+			_, wantZ := c.CorrectZ(v)
+			if got := c.bitZ.fault(e); got != wantZ {
+				t.Fatalf("%s: bitZ.fault(%0*b) = %v, CorrectZ says %v", c.Name, c.N, e, got, wantZ)
+			}
+		}
+	}
+}
+
+// TestMonteCarloTrialLoopAllocationFree is the before/after assertion of
+// the hot-loop fix: the decoder setup (check rows, syndrome table, logical
+// mask) is hoisted into the Code at construction, so the per-trial work —
+// error sampling, syndrome extraction, table decode, logical-fault test —
+// must not allocate at all. The old implementation allocated four times
+// per trial (error vector, syndrome vector, two correction clones).
+func TestMonteCarloTrialLoopAllocationFree(t *testing.T) {
+	for _, c := range Codes() {
+		rng := rand.New(rand.NewSource(11))
+		if avg := testing.AllocsPerRun(50, func() {
+			c.MonteCarloX(0.01, 200, rng)
+		}); avg != 0 {
+			t.Errorf("%s: MonteCarloX allocates %.1f times per 200-trial run, want 0", c.Name, avg)
+		}
+		if avg := testing.AllocsPerRun(50, func() {
+			c.ConcatenatedMonteCarloX(2, 0.01, 20, rng)
+		}); avg != 0 {
+			t.Errorf("%s: ConcatenatedMonteCarloX allocates %.1f times per 20-trial run, want 0", c.Name, avg)
+		}
+	}
+}
+
+// TestMonteCarloSeededParallelDeterminism is the contract the explore
+// runner's byte-identical-JSON guarantee rests on: the same (p, trials,
+// seed) must produce identical logical-error counts at parallelism 1, 4
+// and NumCPU. The trial budget spans several shards plus a ragged tail so
+// the shard layout itself is exercised. CI runs this under -race, which
+// also vets the worker pool's sharing discipline.
+func TestMonteCarloSeededParallelDeterminism(t *testing.T) {
+	const (
+		p      = 0.02
+		trials = 3*mcShardTrials + 517
+		seed   = 99
+	)
+	for _, c := range Codes() {
+		workers := []int{1, 4, runtime.NumCPU()}
+		baseX := c.MonteCarloXSeededParallel(p, trials, seed, workers[0])
+		baseZ := c.MonteCarloZSeededParallel(p, trials, seed, workers[0])
+		if baseX.LogicalFaults == 0 {
+			t.Errorf("%s: no faults at p=%g over %d trials; the test is vacuous", c.Name, p, trials)
+		}
+		for _, w := range workers[1:] {
+			if got := c.MonteCarloXSeededParallel(p, trials, seed, w); got != baseX {
+				t.Errorf("%s: X counts differ at %d workers: %+v vs %+v", c.Name, w, got, baseX)
+			}
+			if got := c.MonteCarloZSeededParallel(p, trials, seed, w); got != baseZ {
+				t.Errorf("%s: Z counts differ at %d workers: %+v vs %+v", c.Name, w, got, baseZ)
+			}
+		}
+		// The default entry points choose GOMAXPROCS; they must land on the
+		// same counts as every explicit worker count.
+		if got := c.MonteCarloXSeeded(p, trials, seed); got != baseX {
+			t.Errorf("%s: MonteCarloXSeeded differs from the 1-worker result: %+v vs %+v", c.Name, got, baseX)
+		}
+	}
+}
+
+// TestMonteCarloSeededSeedSensitivity guards the opposite failure: the
+// seed must actually steer the shard streams.
+func TestMonteCarloSeededSeedSensitivity(t *testing.T) {
+	c := Steane()
+	a := c.MonteCarloXSeeded(0.05, 2*mcShardTrials, 1)
+	b := c.MonteCarloXSeeded(0.05, 2*mcShardTrials, 2)
+	if a == b {
+		t.Error("different seeds produced identical Monte Carlo counts")
+	}
+}
+
+// TestMonteCarloSeededDegenerateBudgets covers the shard-layout edges: a
+// zero budget, a sub-shard budget and an exact multiple of the shard size.
+func TestMonteCarloSeededDegenerateBudgets(t *testing.T) {
+	c := BaconShor()
+	if got := c.MonteCarloXSeeded(0.1, 0, 5); got.LogicalFaults != 0 || got.Trials != 0 {
+		t.Errorf("zero budget: %+v", got)
+	}
+	for _, trials := range []int{1, 37, mcShardTrials, 2 * mcShardTrials} {
+		a := c.MonteCarloXSeededParallel(0.1, trials, 7, 1)
+		b := c.MonteCarloXSeededParallel(0.1, trials, 7, 3)
+		if a != b {
+			t.Errorf("trials=%d: counts differ across worker counts: %+v vs %+v", trials, a, b)
+		}
+		if a.Trials != trials {
+			t.Errorf("trials=%d: result echoes %d", trials, a.Trials)
+		}
+	}
+}

@@ -564,6 +564,12 @@ func xvalExp() *Experiment {
 // monteCarloExp sweeps the Pauli-frame Monte Carlo error injector over
 // code × physical error rate, with the per-point deterministic seed the
 // runner derives — the sweep reproduces bit-for-bit at any parallelism.
+// Determinism holds at two levels: the runner derives each point's seed
+// from its coordinates (never evaluation order), and MonteCarloXSeeded
+// itself fans fixed-size shards with seed-derived sub-streams across a
+// worker pool, so its counts are identical whether the point runs on one
+// core or many. `-parallel` therefore changes wall-clock only, even
+// though every evaluation is internally concurrent too.
 func monteCarloExp() *Experiment {
 	return &Experiment{
 		Name:  "montecarlo",

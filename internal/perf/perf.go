@@ -1,0 +1,205 @@
+// Package perf is the repository's machine-readable performance harness.
+// It keeps a registry of named micro- and macro-benchmarks over the hot
+// paths (Monte Carlo error injection, the discrete-event simulator, the
+// analytic model, the exploration engine), runs them programmatically by
+// wrapping testing.Benchmark, and renders the measurements as a versioned
+// BENCH.json document: ns/op, B/op, allocs/op and any custom b.ReportMetric
+// series per benchmark, plus enough host metadata to interpret a number a
+// month later. `cqla bench` is the CLI entry point; CI uploads the document
+// as a per-commit artifact next to the benchstat regression gate.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH.json layout. Bump it on any change
+// that could break a consumer: renamed fields, changed units, removed
+// sections. Additive fields do not require a bump.
+const SchemaVersion = 1
+
+// Benchmark is one registered measurement.
+type Benchmark struct {
+	// Name identifies the benchmark in reports and filters. By convention
+	// it matches the `go test` benchmark it mirrors, without the
+	// "Benchmark" prefix (e.g. "DES64BitAdder").
+	Name string
+	// Doc is a one-line description carried into the report.
+	Doc string
+	// F is the benchmark body, a standard testing.B function.
+	F func(b *testing.B)
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Benchmark
+	regNames = map[string]bool{}
+)
+
+// Register adds a benchmark to the global registry. Names must be unique,
+// non-empty and free of whitespace (they become filter targets and JSON
+// keys).
+func Register(b Benchmark) error {
+	if b.Name == "" || strings.ContainsAny(b.Name, " \t\n") {
+		return fmt.Errorf("perf: invalid benchmark name %q", b.Name)
+	}
+	if b.F == nil {
+		return fmt.Errorf("perf: benchmark %q has no body", b.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if regNames[b.Name] {
+		return fmt.Errorf("perf: benchmark %q registered twice", b.Name)
+	}
+	regNames[b.Name] = true
+	registry = append(registry, b)
+	return nil
+}
+
+// mustRegister is Register for static suite tables.
+func mustRegister(b Benchmark) {
+	if err := Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// Benchmarks returns the registered benchmarks sorted by name, so every
+// run (and every BENCH.json) lists them in the same order.
+func Benchmarks() []Benchmark {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append([]Benchmark(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Result is one benchmark's measurement in the report.
+type Result struct {
+	Name        string  `json:"name"`
+	Doc         string  `json:"doc,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics carries the benchmark's b.ReportMetric series (unit -> value),
+	// e.g. domain figures of merit alongside the timing.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH.json document.
+type Report struct {
+	SchemaVersion int       `json:"schema_version"`
+	GoVersion     string    `json:"go_version"`
+	GOOS          string    `json:"goos"`
+	GOARCH        string    `json:"goarch"`
+	NumCPU        int       `json:"num_cpu"`
+	GOMAXPROCS    int       `json:"gomaxprocs"`
+	Host          string    `json:"host,omitempty"`
+	StartedAt     time.Time `json:"started_at"`
+	WallTimeS     float64   `json:"wall_time_s"`
+	Benchmarks    []Result  `json:"benchmarks"`
+}
+
+// Options configures one harness run.
+type Options struct {
+	// Filter selects benchmarks by name; nil runs everything.
+	Filter *regexp.Regexp
+	// Progress, if non-nil, is called after each benchmark completes.
+	Progress func(done, total int, r Result)
+}
+
+// Run measures every registered benchmark matching the filter and returns
+// the report. It errors when the filter matches nothing, so a typo in
+// `cqla bench -filter` fails loudly instead of emitting an empty document.
+func Run(opt Options) (*Report, error) {
+	return RunBenchmarks(Benchmarks(), opt)
+}
+
+// RunBenchmarks is Run over an explicit benchmark set.
+func RunBenchmarks(bms []Benchmark, opt Options) (*Report, error) {
+	var selected []Benchmark
+	for _, bm := range bms {
+		if opt.Filter == nil || opt.Filter.MatchString(bm.Name) {
+			selected = append(selected, bm)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("perf: no benchmark matches (have %s)", strings.Join(names(bms), ", "))
+	}
+	rep := newReport()
+	start := time.Now()
+	for i, bm := range selected {
+		r := measure(bm)
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		if opt.Progress != nil {
+			opt.Progress(i+1, len(selected), r)
+		}
+	}
+	rep.WallTimeS = time.Since(start).Seconds()
+	return rep, nil
+}
+
+func newReport() *Report {
+	host, _ := os.Hostname()
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Host:          host,
+		StartedAt:     time.Now().UTC(),
+	}
+}
+
+// measure runs one benchmark through testing.Benchmark with allocation
+// tracking always on, and flattens the result.
+func measure(bm Benchmark) Result {
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bm.F(b)
+	})
+	r := Result{
+		Name:        bm.Name,
+		Doc:         bm.Doc,
+		Iterations:  br.N,
+		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if len(br.Extra) > 0 {
+		r.Metrics = make(map[string]float64, len(br.Extra))
+		for unit, v := range br.Extra {
+			r.Metrics[unit] = v
+		}
+	}
+	return r
+}
+
+func names(bms []Benchmark) []string {
+	out := make([]string, len(bms))
+	for i, bm := range bms {
+		out[i] = bm.Name
+	}
+	return out
+}
+
+// WriteJSON renders the report as indented JSON. Benchmarks are already
+// name-sorted and encoding/json sorts the metric maps, so the document is
+// diff-stable run to run.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

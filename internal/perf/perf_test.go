@@ -1,0 +1,138 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+// benchSink keeps the TinyAlloc allocation observable so neither the
+// compiler nor a linter treats it as dead.
+var benchSink []byte
+
+// fastSuite is a pair of near-instant benchmarks for harness tests, so the
+// tests don't pay for the real suite's campaigns.
+func fastSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "TinyAlloc", Doc: "allocates once per op", F: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = make([]byte, 64)
+			}
+			b.ReportMetric(42, "answer")
+		}},
+		{Name: "TinyNoop", F: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+			}
+		}},
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Benchmark{Name: "", F: func(*testing.B) {}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register(Benchmark{Name: "has space", F: func(*testing.B) {}}); err == nil {
+		t.Error("whitespace name accepted")
+	}
+	if err := Register(Benchmark{Name: "NoBody"}); err == nil {
+		t.Error("nil body accepted")
+	}
+	if err := Register(Benchmark{Name: "perf-test-dup", F: func(*testing.B) {}}); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	if err := Register(Benchmark{Name: "perf-test-dup", F: func(*testing.B) {}}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestSuiteRegistered(t *testing.T) {
+	names := map[string]bool{}
+	prev := ""
+	for _, bm := range Benchmarks() {
+		names[bm.Name] = true
+		if bm.Name < prev {
+			t.Errorf("Benchmarks() not sorted: %q after %q", bm.Name, prev)
+		}
+		prev = bm.Name
+	}
+	// The CI gate's pinned set must stay registered; renaming one silently
+	// un-gates it.
+	for _, want := range []string{"ConcatenatedMCLevel2", "DES64BitAdder", "MonteCarloXSeeded", "ExplorePareto"} {
+		if !names[want] {
+			t.Errorf("suite benchmark %q missing from registry", want)
+		}
+	}
+}
+
+func TestRunProducesVersionedJSON(t *testing.T) {
+	var progress int
+	rep, err := RunBenchmarks(fastSuite(), Options{
+		Progress: func(done, total int, r Result) {
+			progress++
+			if total != 2 {
+				t.Errorf("progress total = %d, want 2", total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress != 2 {
+		t.Errorf("progress called %d times, want 2", progress)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		SchemaVersion int    `json:"schema_version"`
+		GoVersion     string `json:"go_version"`
+		NumCPU        int    `json:"num_cpu"`
+		Benchmarks    []struct {
+			Name        string             `json:"name"`
+			Iterations  int                `json:"iterations"`
+			NsPerOp     float64            `json:"ns_per_op"`
+			AllocsPerOp int64              `json:"allocs_per_op"`
+			Metrics     map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("BENCH.json does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", doc.SchemaVersion, SchemaVersion)
+	}
+	if doc.GoVersion == "" || doc.NumCPU < 1 {
+		t.Errorf("host metadata missing: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("%d benchmark entries, want 2", len(doc.Benchmarks))
+	}
+	alloc := doc.Benchmarks[0]
+	if alloc.Name != "TinyAlloc" {
+		t.Fatalf("first entry %q, want TinyAlloc (name-sorted)", alloc.Name)
+	}
+	if alloc.Iterations <= 0 || alloc.NsPerOp <= 0 {
+		t.Errorf("TinyAlloc measured nothing: %+v", alloc)
+	}
+	if alloc.AllocsPerOp != 1 {
+		t.Errorf("TinyAlloc allocs_per_op = %d, want 1 (allocation tracking must be on)", alloc.AllocsPerOp)
+	}
+	if alloc.Metrics["answer"] != 42 {
+		t.Errorf("custom metric not carried: %v", alloc.Metrics)
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	rep, err := RunBenchmarks(fastSuite(), Options{Filter: regexp.MustCompile("^TinyNoop$")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "TinyNoop" {
+		t.Fatalf("filter selected %v", rep.Benchmarks)
+	}
+	if _, err := RunBenchmarks(fastSuite(), Options{Filter: regexp.MustCompile("NoSuchBench")}); err == nil {
+		t.Error("filter matching nothing should error")
+	}
+}

@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/des"
+	"repro/internal/ecc"
+	"repro/internal/explore"
+	"repro/internal/gen"
+	"repro/internal/gf2"
+	"repro/internal/phys"
+)
+
+// The built-in suite covers the repository's hot paths at three scales:
+// micro (one syndrome decode), meso (Monte Carlo campaigns, one simulated
+// adder) and macro (a full exploration sweep). Names match the `go test`
+// benchmarks they mirror — BenchmarkDES64BitAdder in internal/des is
+// "DES64BitAdder" here — so bench.txt and BENCH.json line up, and the CI
+// gate's pinned set can be traced in either artifact.
+func init() {
+	mustRegister(Benchmark{
+		Name: "SyndromeDecodeSteane",
+		Doc:  "one X-error decode of the Steane code through the public vector API",
+		F: func(b *testing.B) {
+			c := ecc.Steane()
+			e := gf2.NewVec(c.N)
+			e.Set(2, true)
+			e.Set(5, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.CorrectX(e)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "ConcatenatedMCLevel2",
+		// Mirrors internal/ecc's BenchmarkConcatenatedMCLevel2 exactly
+		// (same code, rate, trial count and seed) so bench.txt and
+		// BENCH.json report the same workload under the same name.
+		Doc: "1000 hierarchical level-2 Monte Carlo trials, Bacon-Shor code at p=0.01",
+		F: func(b *testing.B) {
+			c := ecc.BaconShor()
+			rng := rand.New(rand.NewSource(5))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.ConcatenatedMonteCarloX(2, 0.01, 1000, rng)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "ConcatenatedMCLevel2Steane",
+		Doc:  "2000 hierarchical level-2 Monte Carlo trials, Steane code at p=1e-3",
+		F: func(b *testing.B) {
+			c := ecc.Steane()
+			rng := rand.New(rand.NewSource(7))
+			var r ecc.MonteCarloResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r = c.ConcatenatedMonteCarloX(2, 1e-3, 2000, rng)
+			}
+			b.ReportMetric(float64(r.Trials), "trials")
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "MonteCarloXSeededSerial",
+		Doc:  "20000 seeded Monte Carlo trials on one worker (per-core throughput)",
+		F: func(b *testing.B) {
+			c := ecc.Steane()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MonteCarloXSeededParallel(1e-3, 20000, 42, 1)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "MonteCarloXSeeded",
+		Doc:  "20000 seeded Monte Carlo trials across the worker pool (scales with cores)",
+		F: func(b *testing.B) {
+			c := ecc.Steane()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MonteCarloXSeeded(1e-3, 20000, 42)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "DES64BitAdder",
+		Doc:  "discrete-event simulation of the 64-bit adder, DAG build included",
+		F: func(b *testing.B) {
+			ad := gen.CarryLookahead(64)
+			cfg := des.Config{Blocks: 9, Channels: 12, ResidentQubits: 700,
+				SlotTime: 100 * time.Millisecond, TransportTime: 200 * time.Millisecond}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := des.Run(ad.Circuit, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "DESEventLoop64BitAdder",
+		Doc:  "the des event loop alone on a prebuilt 64-bit adder DAG",
+		F: func(b *testing.B) {
+			ad := gen.CarryLookahead(64)
+			d := circuit.BuildDAG(ad.Circuit)
+			cfg := des.Config{Blocks: 9, Channels: 12, ResidentQubits: 700,
+				SlotTime: 100 * time.Millisecond, TransportTime: 200 * time.Millisecond}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := des.RunDAG(context.Background(), d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "AnalyticAdder256",
+		Doc:  "one closed-form evaluation of the 256-bit adder on the paper's working point",
+		F: func(b *testing.B) {
+			m, err := arch.New(
+				arch.WithParams(phys.Projected()),
+				arch.WithCodeName("bacon-shor"),
+				arch.WithBlocks(36),
+				arch.WithTransfers(10),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := m.Engine(arch.EngineAnalytic)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := arch.NewAdder(256, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Evaluate(context.Background(), w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "ExplorePareto",
+		Doc:  "the 45-point pareto sweep through the explore worker pool (macro)",
+		F: func(b *testing.B) {
+			exp, err := explore.Lookup("pareto")
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := phys.Projected()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := explore.Run(context.Background(), exp, explore.Options{Phys: p, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+}
