@@ -8,7 +8,7 @@
 //	cqla [-current] <experiment>
 //	cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
 //	cqla serve [-addr :8400]
-//	cqla bench [-filter re] [-out BENCH.json]
+//	cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]]
 //
 // Most experiments live in the explore registry and accept either form:
 // the first prints an aligned text table, the second adds machine-readable
@@ -239,19 +239,30 @@ Flags:
 }
 
 // runBench handles `cqla bench [flags]`: the perf harness over the
-// registered benchmark suite, emitting the versioned BENCH.json document.
+// registered benchmark suite, emitting the versioned BENCH.json document
+// and, with -baseline, a benchstat-style delta table against a previous
+// document (the CI regression gate's preferred path).
 func runBench(args []string) {
 	fs := flag.NewFlagSet("cqla bench", flag.ExitOnError)
 	filter := fs.String("filter", "", "regexp selecting benchmarks by name (default: all)")
 	out := fs.String("out", "", "write BENCH.json to this path (default: stdout)")
 	list := fs.Bool("list", false, "list registered benchmarks and exit")
+	benchtime := fs.Duration("benchtime", perf.DefaultBenchTime, "per-benchmark measurement budget")
+	baseline := fs.String("baseline", "", "compare against a previous BENCH.json and print a delta table")
+	gate := fs.Float64("gate", 0, "with -baseline: exit nonzero when the sec/op geomean regresses more than this percent (0 disables)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, `usage: cqla bench [-filter re] [-out BENCH.json] [-list]
+		fmt.Fprintf(os.Stderr, `usage: cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]] [-list]
 
-Runs the registered performance suite through testing.Benchmark and writes
-a versioned, machine-readable report (schema_version %d): ns/op, B/op,
-allocs/op and custom metrics per benchmark, plus host metadata. Progress
-goes to stderr, the JSON document to -out (or stdout).
+Runs the registered performance suite through the native measurement loop
+and writes a versioned, machine-readable report (schema_version %d):
+ns/op, B/op, allocs/op and custom metrics per benchmark, plus host
+metadata. -benchtime trades precision for wall clock (CI uses 100ms).
+Progress goes to stderr, the JSON document to -out (or stdout).
+
+With -baseline, a benchstat-style sec/op delta table against the previous
+document is printed to stderr, and -gate N fails the run when the
+geometric-mean regression exceeds N%% — the CI gate's fast path, replacing
+a full merge-base rebuild whenever a baseline artifact exists.
 
 Flags:
 `, perf.SchemaVersion)
@@ -269,7 +280,25 @@ Flags:
 		listBenchmarks(os.Stdout)
 		return
 	}
+	if *gate != 0 && *baseline == "" {
+		log.Fatal("cqla: -gate requires -baseline")
+	}
+	if *gate < 0 {
+		// A negative threshold would silently disable enforcement below;
+		// reject it so a sign typo cannot masquerade as an active gate.
+		log.Fatalf("cqla: -gate %g must be >= 0", *gate)
+	}
+	var base *perf.Report
+	if *baseline != "" {
+		// Load before the measurement campaign: a bad baseline path should
+		// fail in milliseconds, not after the suite ran.
+		var err error
+		if base, err = perf.LoadReport(*baseline); err != nil {
+			log.Fatalf("cqla: %v", err)
+		}
+	}
 	opt := perf.Options{
+		BenchTime: *benchtime,
 		Progress: func(done, total int, r perf.Result) {
 			fmt.Fprintf(os.Stderr, "cqla: bench %d/%d %-30s %12.0f ns/op %8d allocs/op\n",
 				done, total, r.Name, r.NsPerOp, r.AllocsPerOp)
@@ -290,21 +319,37 @@ Flags:
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			log.Fatalf("cqla: write report: %v", err)
 		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("cqla: %v", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			// Leave no truncated document behind: a half-written BENCH.json
+			// at the target path reads as a valid-looking artifact to CI.
+			os.Remove(*out)
+			log.Fatalf("cqla: write report %s: %v", *out, werr)
+		}
+	}
+	if base == nil {
 		return
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	cmp := perf.Compare(base, rep)
+	fmt.Fprintf(os.Stderr, "\ncqla: delta vs %s\n", *baseline)
+	if err := cmp.WriteText(os.Stderr); err != nil {
 		log.Fatalf("cqla: %v", err)
 	}
-	werr := rep.WriteJSON(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
+	if len(cmp.Deltas) == 0 {
+		// A disjoint benchmark set cannot be gated; fail loudly rather
+		// than report a vacuous pass.
+		log.Fatalf("cqla: baseline %s shares no benchmarks with this build", *baseline)
 	}
-	if werr != nil {
-		// Leave no truncated document behind: a half-written BENCH.json
-		// at the target path reads as a valid-looking artifact to CI.
-		os.Remove(*out)
-		log.Fatalf("cqla: write report %s: %v", *out, werr)
+	if *gate > 0 && cmp.GeomeanPct > *gate {
+		log.Fatalf("cqla: sec/op geomean regressed %+.2f%% (> %g%% gate)", cmp.GeomeanPct, *gate)
 	}
 }
 
@@ -366,7 +411,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
        cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
        cqla serve [-addr :8400]
-       cqla bench [-filter re] [-out BENCH.json]
+       cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]]
 
 Hand-laid artifacts:
   table1     physical operation parameters (Table 1)

@@ -15,6 +15,18 @@ type analyticEngine struct{ m *Machine }
 
 func (analyticEngine) Name() string { return EngineAnalytic }
 
+// EvaluateCompiled evaluates a precompiled workload. The closed-form model
+// has no per-evaluation setup of its own, but compilation seeds the
+// machine's adder-schedule memo with the plan's shared DAG, so the speedup
+// terms below read a sweep-wide memo instead of rebuilding the kernel per
+// machine.
+func (e analyticEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (Result, error) {
+	if cw == nil || cw.m != e.m {
+		return Result{}, errForeignCompile
+	}
+	return e.Evaluate(ctx, cw.w)
+}
+
 func (e analyticEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
 	if err := w.Validate(); err != nil {
 		return Result{}, err

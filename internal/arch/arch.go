@@ -145,11 +145,9 @@ type Machine struct {
 	cq   *cqla.Machine
 }
 
-// New builds a Machine from the paper's default working point (Steane
-// code, projected parameters, 36 compute blocks, 10 parallel transfers,
-// the Section 5.2 cache factor and overlap) modified by the given options.
-// It returns an error — never panics — on an inconsistent configuration.
-func New(opts ...Option) (*Machine, error) {
+// resolve applies the options to the paper-default working point and
+// validates the result.
+func resolve(opts []Option) (settings, error) {
 	s := settings{
 		code:        ecc.Steane(),
 		codeName:    "steane",
@@ -163,28 +161,70 @@ func New(opts ...Option) (*Machine, error) {
 		o(&s)
 	}
 	if s.codeErr != nil {
-		return nil, s.codeErr
+		return settings{}, s.codeErr
 	}
 	if s.code == nil {
-		return nil, fmt.Errorf("arch: nil code")
+		return settings{}, fmt.Errorf("arch: nil code")
 	}
 	if s.blocks < 1 {
-		return nil, fmt.Errorf("arch: %d compute blocks, need at least 1", s.blocks)
+		return settings{}, fmt.Errorf("arch: %d compute blocks, need at least 1", s.blocks)
 	}
 	if s.transfers < 1 {
-		return nil, fmt.Errorf("arch: %d parallel transfers, need at least 1", s.transfers)
+		return settings{}, fmt.Errorf("arch: %d parallel transfers, need at least 1", s.transfers)
 	}
 	if s.cacheFactor <= 0 {
-		return nil, fmt.Errorf("arch: cache factor %g, need > 0", s.cacheFactor)
+		return settings{}, fmt.Errorf("arch: cache factor %g, need > 0", s.cacheFactor)
 	}
 	if s.overlap < 0 || s.overlap > 1 {
-		return nil, fmt.Errorf("arch: transfer overlap %g outside [0, 1]", s.overlap)
+		return settings{}, fmt.Errorf("arch: transfer overlap %g outside [0, 1]", s.overlap)
 	}
 	if s.simChannels < 0 {
-		return nil, fmt.Errorf("arch: %d sim channels, need >= 0 (0 derives from transfers)", s.simChannels)
+		return settings{}, fmt.Errorf("arch: %d sim channels, need >= 0 (0 derives from transfers)", s.simChannels)
 	}
 	if s.simResidency < 0 {
-		return nil, fmt.Errorf("arch: %d sim resident qubits, need >= 0 (0 derives from blocks)", s.simResidency)
+		return settings{}, fmt.Errorf("arch: %d sim resident qubits, need >= 0 (0 derives from blocks)", s.simResidency)
+	}
+	return s, nil
+}
+
+// config renders the resolved settings as the Result-envelope echo.
+func (s *settings) config() Config {
+	return Config{
+		Code:         s.codeName,
+		Phys:         s.params.Name,
+		Blocks:       s.blocks,
+		Transfers:    s.transfers,
+		CacheFactor:  s.cacheFactor,
+		Overlap:      s.overlap,
+		SimChannels:  s.simChannels,
+		SimResidency: s.simResidency,
+	}
+}
+
+// Resolve applies the options to the paper-default working point and
+// returns the fully resolved, validated configuration without building the
+// machine's analytic models. Because Config is a comparable value it works
+// as a cache key: two option lists resolving to the same Config produce
+// machines with identical behavior, which is what explore's per-sweep
+// machine cache relies on. (Codes selected via WithCode rather than the
+// registry render by their short name; distinct hand-built codes sharing a
+// short name would collide, so cache only registry-named machines.)
+func Resolve(opts ...Option) (Config, error) {
+	s, err := resolve(opts)
+	if err != nil {
+		return Config{}, err
+	}
+	return s.config(), nil
+}
+
+// New builds a Machine from the paper's default working point (Steane
+// code, projected parameters, 36 compute blocks, 10 parallel transfers,
+// the Section 5.2 cache factor and overlap) modified by the given options.
+// It returns an error — never panics — on an inconsistent configuration.
+func New(opts ...Option) (*Machine, error) {
+	s, err := resolve(opts)
+	if err != nil {
+		return nil, err
 	}
 	// Translate literal overlap into cqla's sentinel encoding.
 	cqOverlap := s.overlap
@@ -203,16 +243,7 @@ func New(opts ...Option) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{
-		cfg: Config{
-			Code:         s.codeName,
-			Phys:         s.params.Name,
-			Blocks:       s.blocks,
-			Transfers:    s.transfers,
-			CacheFactor:  s.cacheFactor,
-			Overlap:      s.overlap,
-			SimChannels:  s.simChannels,
-			SimResidency: s.simResidency,
-		},
+		cfg:  s.config(),
 		code: s.code,
 		phys: s.params,
 		cq:   cq,

@@ -1,0 +1,144 @@
+package arch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cqla"
+	"repro/internal/des"
+	"repro/internal/gen"
+	"repro/internal/memo"
+	"repro/internal/sched"
+)
+
+// WorkloadPlan is the machine-independent compiled form of a workload: the
+// kernel circuit the engines evaluate and its dependency DAG, plus a memo
+// of list-scheduled makespans per block budget. Adder and modexp workloads
+// share the carry-lookahead adder kernel (the paper evaluates modular
+// exponentiation as repeated additions), so their plans are
+// interchangeable at equal width.
+//
+// A plan is immutable apart from its schedule memo, which is lock-guarded;
+// it is safe for concurrent use and intended to be shared — the explore
+// runner compiles each (kernel, bits) pair once per sweep and binds the
+// one plan to every machine that evaluates it.
+type WorkloadPlan struct {
+	bits int
+
+	// adder is set for adder/modexp workloads; its DAG and schedule memo
+	// are shared with the analytic model via Machine.UseAdderPlan.
+	adder *cqla.AdderPlan
+
+	// qft is set for QFT workloads, with its own schedule memo.
+	qft *circuit.DAG
+	ms  memo.Map[int, int]
+}
+
+// PlanWorkload compiles the kernel circuit and dependency DAG for w. The
+// result is machine-independent: bind it to a machine with
+// Machine.CompileWith (or let Machine.Compile do both steps).
+func PlanWorkload(w Workload) (*WorkloadPlan, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	p := &WorkloadPlan{bits: w.Bits}
+	switch w.Kind {
+	case KindQFT:
+		p.qft = circuit.BuildDAG(gen.QFT(w.Bits, false))
+	default: // KindAdder, KindModExp, by Validate
+		p.adder = cqla.NewAdderPlan(w.Bits)
+	}
+	return p, nil
+}
+
+// Bits returns the problem width the plan was compiled for.
+func (p *WorkloadPlan) Bits() int { return p.bits }
+
+// DAG returns the compiled kernel dependency graph (shared storage; treat
+// it as read-only).
+func (p *WorkloadPlan) DAG() *circuit.DAG {
+	if p.adder != nil {
+		return p.adder.DAG()
+	}
+	return p.qft
+}
+
+// compatible reports whether the plan can evaluate w.
+func (p *WorkloadPlan) compatible(w Workload) bool {
+	if p.bits != w.Bits {
+		return false
+	}
+	if w.Kind == KindQFT {
+		return p.qft != nil
+	}
+	return p.adder != nil
+}
+
+// makespan returns the kernel's list-scheduled makespan at the given block
+// budget, memoized per plan (per shared adder plan for adder kernels).
+func (p *WorkloadPlan) makespan(blocks int) int {
+	if p.adder != nil {
+		return p.adder.Makespan(blocks)
+	}
+	return p.ms.Get(blocks, func() int {
+		return sched.ListSchedule(p.qft, blocks).MakespanSlots
+	})
+}
+
+// CompiledWorkload binds a workload plan to one machine: the validated
+// workload, the shared kernel plan, and the derived discrete-event machine
+// description. Compiling once and evaluating many times is the intended
+// hot-loop shape — Engine.EvaluateCompiled skips every per-evaluation
+// setup cost (circuit generation, DAG construction, scheduling already
+// memoized in the plan).
+type CompiledWorkload struct {
+	m      *Machine
+	w      Workload
+	plan   *WorkloadPlan
+	desCfg des.Config
+}
+
+// Machine returns the machine the workload was compiled for.
+func (cw *CompiledWorkload) Machine() *Machine { return cw.m }
+
+// Workload returns the workload description.
+func (cw *CompiledWorkload) Workload() Workload { return cw.w }
+
+// Plan returns the underlying machine-independent plan.
+func (cw *CompiledWorkload) Plan() *WorkloadPlan { return cw.plan }
+
+// Compile validates w, compiles its kernel plan and binds it to the
+// machine. For repeated evaluations of one workload family across many
+// machines, compile the plan once with PlanWorkload and bind it to each
+// machine with CompileWith instead.
+func (m *Machine) Compile(w Workload) (*CompiledWorkload, error) {
+	plan, err := PlanWorkload(w)
+	if err != nil {
+		return nil, err
+	}
+	return m.CompileWith(w, plan)
+}
+
+// CompileWith binds a precompiled plan to this machine. The plan's adder
+// kernel (when present) also seeds the analytic model's schedule memo, so
+// both engines evaluate from the one shared DAG.
+func (m *Machine) CompileWith(w Workload, plan *WorkloadPlan) (*CompiledWorkload, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if plan == nil || !plan.compatible(w) {
+		return nil, fmt.Errorf("arch: plan does not match workload %s/%d bits", w.Kind, w.Bits)
+	}
+	if plan.adder != nil {
+		m.cq.UseAdderPlan(plan.adder)
+	}
+	return &CompiledWorkload{m: m, w: w, plan: plan, desCfg: m.desConfig()}, nil
+}
+
+// computeOnly returns the compute-only lower bound of the compiled kernel:
+// the list-scheduled makespan at the machine's block count with
+// communication free. It anchors the communication-hidden metric.
+func (cw *CompiledWorkload) computeOnly() time.Duration {
+	return time.Duration(cw.plan.makespan(cw.desCfg.Blocks)) * cw.desCfg.SlotTime
+}

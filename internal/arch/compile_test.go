@@ -1,0 +1,180 @@
+package arch_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestCompiledEvaluationIsByteIdentical is the cache-transparency
+// contract: for both engines and every workload kind, evaluating a
+// precompiled workload yields a byte-identical Result envelope to the
+// one-shot Evaluate path — including when one plan is shared across
+// machines, which is exactly what explore's per-sweep cache does.
+func TestCompiledEvaluationIsByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	workloads := []arch.Workload{
+		arch.NewAdder(32, false),
+		arch.NewAdder(32, true),
+		arch.NewModExp(32),
+		arch.NewQFT(24),
+	}
+	machines := make([]*arch.Machine, 2)
+	for i, blocks := range []int{9, 16} {
+		m, err := arch.New(arch.WithCodeName("bacon-shor"), arch.WithBlocks(blocks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+	}
+	for _, w := range workloads {
+		plan, err := arch.PlanWorkload(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range machines {
+			for _, engine := range arch.EngineNames() {
+				eng, err := m.Engine(engine)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := eng.Evaluate(ctx, w)
+				if err != nil {
+					t.Fatalf("%s Evaluate(%s/%d): %v", engine, w.Kind, w.Bits, err)
+				}
+				cw, err := m.CompileWith(w, plan)
+				if err != nil {
+					t.Fatalf("CompileWith(%s/%d): %v", w.Kind, w.Bits, err)
+				}
+				compiled, err := eng.EvaluateCompiled(ctx, cw)
+				if err != nil {
+					t.Fatalf("%s EvaluateCompiled(%s/%d): %v", engine, w.Kind, w.Bits, err)
+				}
+				dj, _ := json.Marshal(direct)
+				cj, _ := json.Marshal(compiled)
+				if string(dj) != string(cj) {
+					t.Errorf("%s %s/%d: compiled evaluation diverges\n direct:   %s\n compiled: %s",
+						engine, w.Kind, w.Bits, dj, cj)
+				}
+				// Evaluate-many on one compiled workload must be stable.
+				again, err := eng.EvaluateCompiled(ctx, cw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aj, _ := json.Marshal(again)
+				if string(aj) != string(cj) {
+					t.Errorf("%s %s/%d: repeated compiled evaluation drifts", engine, w.Kind, w.Bits)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileRejectsForeignAndMismatched pins the safety rails: a compiled
+// workload evaluated on another machine's engine errors, and a plan bound
+// to the wrong workload errors.
+func TestCompileRejectsForeignAndMismatched(t *testing.T) {
+	m1, err := arch.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := arch.New(arch.WithBlocks(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := m1.Compile(arch.NewAdder(16, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range arch.EngineNames() {
+		eng, err := m2.Engine(engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.EvaluateCompiled(context.Background(), cw); err == nil {
+			t.Errorf("%s: evaluating another machine's compiled workload did not error", engine)
+		}
+		if _, err := eng.EvaluateCompiled(context.Background(), nil); err == nil {
+			t.Errorf("%s: evaluating a nil compiled workload did not error", engine)
+		}
+	}
+	plan, err := arch.PlanWorkload(arch.NewAdder(16, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.CompileWith(arch.NewAdder(32, false), plan); err == nil {
+		t.Error("binding a 16-bit plan to a 32-bit workload did not error")
+	}
+	if _, err := m1.CompileWith(arch.NewQFT(16), plan); err == nil {
+		t.Error("binding an adder plan to a QFT workload did not error")
+	}
+	if _, err := m1.CompileWith(arch.NewAdder(16, false), nil); err == nil {
+		t.Error("binding a nil plan did not error")
+	}
+	// Adder and modexp share the carry-lookahead kernel by design.
+	if _, err := m1.CompileWith(arch.NewModExp(16), plan); err != nil {
+		t.Errorf("binding an adder plan to a modexp workload errored: %v", err)
+	}
+	if _, err := arch.PlanWorkload(arch.Workload{Kind: "nope", Bits: 8}); err == nil {
+		t.Error("planning an unknown workload kind did not error")
+	}
+}
+
+// TestResolveMatchesNew pins Resolve's contract as a cache key: it returns
+// exactly the Config a built machine echoes, and errors exactly when New
+// errors.
+func TestResolveMatchesNew(t *testing.T) {
+	optSets := [][]arch.Option{
+		{},
+		{arch.WithCodeName("bacon-shor"), arch.WithBlocks(49), arch.WithCacheFactor(3)},
+		{arch.WithTransferOverlap(0), arch.WithSimChannels(4), arch.WithSimResidency(500)},
+	}
+	for i, opts := range optSets {
+		cfg, err := arch.Resolve(opts...)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		m, err := arch.New(opts...)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if cfg != m.Config() {
+			t.Errorf("set %d: Resolve = %+v, machine echoes %+v", i, cfg, m.Config())
+		}
+	}
+	if _, err := arch.Resolve(arch.WithBlocks(0)); err == nil {
+		t.Error("Resolve accepted zero blocks")
+	}
+	if _, err := arch.Resolve(arch.WithCodeName("nope")); err == nil {
+		t.Error("Resolve accepted an unknown code name")
+	}
+}
+
+// BenchmarkCompileOnceEvalMany measures the intended hot-loop shape: one
+// Machine.Compile, then repeated des-engine evaluations of the 64-bit
+// adder. Compare against BenchmarkDES64BitAdder (which pays the DAG build
+// per run) for the compile-once gain.
+func BenchmarkCompileOnceEvalMany(b *testing.B) {
+	m, err := arch.New(arch.WithCodeName("bacon-shor"), arch.WithBlocks(9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := m.Engine(arch.EngineDES)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cw, err := m.Compile(arch.NewAdder(64, false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateCompiled(ctx, cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,7 +15,18 @@ type Engine interface {
 	// Evaluate runs the workload and returns the metric envelope. It
 	// honors ctx for long evaluations.
 	Evaluate(ctx context.Context, w Workload) (Result, error)
+	// EvaluateCompiled runs a workload the machine has already compiled
+	// (Machine.Compile / Machine.CompileWith), skipping every
+	// per-evaluation setup cost. The result is identical to Evaluate on
+	// the same workload; the compiled input must belong to this engine's
+	// machine.
+	EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (Result, error)
 }
+
+// errForeignCompile rejects a compiled workload bound to another machine:
+// its derived simulator config and schedule memos describe that machine,
+// so evaluating it here would silently mix configurations.
+var errForeignCompile = fmt.Errorf("arch: compiled workload belongs to a different machine")
 
 // Engine registry names.
 const (

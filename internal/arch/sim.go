@@ -4,11 +4,9 @@ import (
 	"context"
 	"time"
 
-	"repro/internal/circuit"
 	"repro/internal/cqla"
 	"repro/internal/des"
 	"repro/internal/gen"
-	"repro/internal/sched"
 )
 
 // simEngine evaluates workloads by discrete-event simulation: the actual
@@ -24,11 +22,11 @@ func (simEngine) Name() string { return EngineDES }
 // arch configuration: channels shrink by the code's per-transfer channel
 // requirement, and the residency set is the level-2 compute region's data
 // qubits plus the cache-factor-sized cache, unless overridden.
-func (e simEngine) desConfig() des.Config {
-	cfg := e.m.cfg
+func (m *Machine) desConfig() des.Config {
+	cfg := m.cfg
 	channels := cfg.SimChannels
 	if channels == 0 {
-		channels = cfg.Transfers / e.m.code.ChannelsRequired()
+		channels = cfg.Transfers / m.code.ChannelsRequired()
 		if channels < 1 {
 			channels = 1
 		}
@@ -39,7 +37,7 @@ func (e simEngine) desConfig() des.Config {
 		// region is capped at one superblock (cqla.Machine.Level1Blocks),
 		// so past it the cache stops growing with the block budget.
 		computeData := cfg.Blocks * cqla.BlockDataQubits
-		cacheData := int(cfg.CacheFactor * float64(e.m.cq.Level1Blocks()*cqla.BlockDataQubits))
+		cacheData := int(cfg.CacheFactor * float64(m.cq.Level1Blocks()*cqla.BlockDataQubits))
 		resident = computeData + cacheData
 	}
 	if resident < 3 {
@@ -49,26 +47,23 @@ func (e simEngine) desConfig() des.Config {
 		Blocks:         cfg.Blocks,
 		Channels:       channels,
 		ResidentQubits: resident,
-		SlotTime:       e.m.code.ECTime(2, e.m.phys),
-		TransportTime:  e.m.code.TransversalGateTime(2, e.m.phys),
+		SlotTime:       m.code.ECTime(2, m.phys),
+		TransportTime:  m.code.TransversalGateTime(2, m.phys),
 	}
 }
 
-// simulate runs one circuit and returns its stats plus the compute-only
-// lower bound (the list-scheduled makespan at the same block count, with
-// communication free), which anchors the communication-hidden metric.
-// The dependency DAG is built once and shared between the simulator and
-// the scheduler — at paper sizes the build costs as much as the whole
-// event loop, so one evaluation pays it a single time.
-func (e simEngine) simulate(ctx context.Context, circ *circuit.Circuit) (des.Stats, time.Duration, error) {
-	cfg := e.desConfig()
-	dag := circuit.BuildDAG(circ)
-	stats, err := des.RunDAG(ctx, dag, cfg)
+// simulate runs the compiled kernel once and returns its stats plus the
+// compute-only lower bound (the list-scheduled makespan at the same block
+// count, with communication free), which anchors the communication-hidden
+// metric. All setup — circuit generation, DAG construction, scheduling —
+// happened at compile time, so repeated evaluations pay only the event
+// loop.
+func (e simEngine) simulate(ctx context.Context, cw *CompiledWorkload) (des.Stats, time.Duration, error) {
+	stats, err := des.RunDAG(ctx, cw.plan.DAG(), cw.desCfg)
 	if err != nil {
 		return des.Stats{}, 0, err
 	}
-	computeOnly := time.Duration(sched.ListSchedule(dag, cfg.Blocks).MakespanSlots) * cfg.SlotTime
-	return stats, computeOnly, nil
+	return stats, cw.computeOnly(), nil
 }
 
 // statMetrics renders the shared simulation measurements.
@@ -85,16 +80,28 @@ func statMetrics(stats des.Stats, computeOnly time.Duration) []Metric {
 	}
 }
 
+// Evaluate compiles the workload and runs it once. Callers evaluating the
+// same workload repeatedly should compile once (Machine.Compile) and call
+// EvaluateCompiled — the DAG build that dominates a one-shot evaluation at
+// paper sizes then happens a single time.
 func (e simEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
-	if err := w.Validate(); err != nil {
+	cw, err := e.m.Compile(w)
+	if err != nil {
 		return Result{}, err
 	}
+	return e.EvaluateCompiled(ctx, cw)
+}
+
+func (e simEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (Result, error) {
+	if cw == nil || cw.m != e.m {
+		return Result{}, errForeignCompile
+	}
 	cm := e.m.cq
+	w := cw.w
 	n := w.Bits
 	switch w.Kind {
 	case KindAdder:
-		ad := gen.CarryLookahead(n)
-		stats, computeOnly, err := e.simulate(ctx, ad.Circuit)
+		stats, computeOnly, err := e.simulate(ctx, cw)
 		if err != nil {
 			return Result{}, err
 		}
@@ -112,8 +119,7 @@ func (e simEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
 		// The full modular-exponentiation circuit is out of simulation
 		// reach at paper sizes; simulate its adder kernel and scale by the
 		// sequential adder calls, as the analytic model does.
-		ad := gen.CarryLookahead(n)
-		stats, computeOnly, err := e.simulate(ctx, ad.Circuit)
+		stats, computeOnly, err := e.simulate(ctx, cw)
 		if err != nil {
 			return Result{}, err
 		}
@@ -134,7 +140,7 @@ func (e simEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
 		}
 		return e.m.result(EngineDES, w, metrics), nil
 	default: // KindQFT, by Validate
-		stats, computeOnly, err := e.simulate(ctx, gen.QFT(n, false))
+		stats, computeOnly, err := e.simulate(ctx, cw)
 		if err != nil {
 			return Result{}, err
 		}

@@ -4,58 +4,160 @@ package circuit
 // instruction i when they share a qubit and i precedes j in program order
 // (quantum gates on a common qubit never commute at this modeling
 // granularity, so any shared operand serializes).
+//
+// The graph is stored arena-style: every dependency and successor list is a
+// window into one flat index slice addressed through an offset table, so a
+// build performs a fixed, small number of allocations regardless of circuit
+// size, and BuildDAGInto can rebuild into an existing DAG with none at all.
+// The accessor API (Deps, Succs, ASAPStart, Profile, ...) is unchanged from
+// the per-instruction-slice representation it replaced.
 type DAG struct {
-	c     *Circuit
-	deps  [][]int // deps[i] = indices of instructions i depends on
-	succs [][]int // succs[i] = indices of instructions depending on i
-	asap  []int   // earliest start slot of each instruction
-	depth int     // critical path length in slots
+	c *Circuit
+
+	// arena is the single backing allocation all index slices below are
+	// carved from; it is retained so BuildDAGInto can reuse its capacity.
+	arena []int
+
+	deps    []int // flat dependency lists, deps[depOff[i]:depOff[i+1]]
+	succs   []int // flat successor lists, succs[succOff[i]:succOff[i+1]]
+	depOff  []int // len(c.Len())+1 offsets into deps
+	succOff []int // len(c.Len())+1 offsets into succs
+	asap    []int // earliest start slot of each instruction
+	depth   int   // critical path length in slots
+
+	// scratch holds the last-instruction-per-qubit table during builds; it
+	// is dead outside BuildDAGInto and retained only to amortize reuse.
+	scratch []int
 }
 
 // BuildDAG constructs the dependency graph and ASAP schedule of c.
 func BuildDAG(c *Circuit) *DAG {
-	d := &DAG{
-		c:     c,
-		deps:  make([][]int, c.Len()),
-		succs: make([][]int, c.Len()),
-		asap:  make([]int, c.Len()),
+	return BuildDAGInto(new(DAG), c)
+}
+
+// BuildDAGInto rebuilds d as the dependency graph of c, reusing d's arena
+// when its capacity suffices, and returns d. A DAG rebuilt over circuits of
+// non-increasing size allocates nothing, which makes repeated compilation
+// (one DAG per worker, many circuits) free of per-build garbage.
+func BuildDAGInto(d *DAG, c *Circuit) *DAG {
+	n := c.Len()
+	nq := c.NumQubits()
+	d.c = c
+	d.depth = 0
+
+	if cap(d.scratch) < nq {
+		d.scratch = make([]int, nq)
 	}
-	last := make([]int, c.NumQubits()) // last instruction touching each qubit
-	for i := range last {
-		last[i] = -1
+	last := d.scratch[:nq]
+	for q := range last {
+		last[q] = -1
 	}
-	for i, in := range c.Instrs() {
-		seen := map[int]bool{}
-		for _, q := range in.Operands() {
-			if p := last[q]; p >= 0 && !seen[p] {
-				seen[p] = true
-				d.deps[i] = append(d.deps[i], p)
-				d.succs[p] = append(d.succs[p], i)
+
+	// Pass 1: count dependency edges. An instruction's dependencies are the
+	// distinct last-writers of its operands (arity <= 3, so deduplication is
+	// a couple of comparisons), and every dependency edge is also exactly
+	// one successor edge.
+	edges := 0
+	instrs := c.Instrs()
+	for i := range instrs {
+		var d0, d1 int = -1, -1
+		for _, q := range instrs[i].Operands() {
+			if p := last[q]; p >= 0 && p != d0 && p != d1 {
+				if d0 < 0 {
+					d0 = p
+				} else {
+					d1 = p
+				}
+				edges++
+			}
+			last[q] = i
+		}
+	}
+
+	// Carve every index slice from one arena: the two flat edge lists, the
+	// two offset tables and the ASAP schedule.
+	need := 2*edges + 2*(n+1) + n
+	if cap(d.arena) < need {
+		d.arena = make([]int, need)
+	}
+	a := d.arena[:need]
+	d.deps, a = a[:edges], a[edges:]
+	d.succs, a = a[:edges], a[edges:]
+	d.depOff, a = a[:n+1], a[n+1:]
+	d.succOff, a = a[:n+1], a[n+1:]
+	d.asap = a[:n]
+
+	// Pass 2: fill the dependency lists (in first-occurrence operand order,
+	// matching the historical append order), accumulate successor counts,
+	// and compute the ASAP schedule — deps[i] is complete by the time it is
+	// read, because dependencies always precede their dependents.
+	for q := range last {
+		last[q] = -1
+	}
+	for i := range d.succOff {
+		d.succOff[i] = 0
+	}
+	pos := 0
+	for i := range instrs {
+		d.depOff[i] = pos
+		for _, q := range instrs[i].Operands() {
+			if p := last[q]; p >= 0 && !contains(d.deps[d.depOff[i]:pos], p) {
+				d.deps[pos] = p
+				pos++
+				d.succOff[p+1]++
 			}
 			last[q] = i
 		}
 		start := 0
-		for _, p := range d.deps[i] {
-			if end := d.asap[p] + c.Instr(p).Slots(); end > start {
+		for _, p := range d.deps[d.depOff[i]:pos] {
+			if end := d.asap[p] + instrs[p].Slots(); end > start {
 				start = end
 			}
 		}
 		d.asap[i] = start
-		if end := start + in.Slots(); end > d.depth {
+		if end := start + instrs[i].Slots(); end > d.depth {
 			d.depth = end
 		}
 	}
+	d.depOff[n] = pos
+
+	// Pass 3: place successor edges. Prefix-summing the counts turns
+	// succOff into placement cursors; walking the dependency lists in
+	// instruction order fills each successor list in ascending order, after
+	// which the cursors have shifted one slot left and are restored.
+	for i := 1; i <= n; i++ {
+		d.succOff[i] += d.succOff[i-1]
+	}
+	for i := 0; i < n; i++ {
+		for _, p := range d.deps[d.depOff[i]:d.depOff[i+1]] {
+			d.succs[d.succOff[p]] = i
+			d.succOff[p]++
+		}
+	}
+	copy(d.succOff[1:], d.succOff[:n])
+	d.succOff[0] = 0
 	return d
+}
+
+// contains reports whether the (at most two-element) dependency window
+// already holds p.
+func contains(deps []int, p int) bool {
+	for _, v := range deps {
+		if v == p {
+			return true
+		}
+	}
+	return false
 }
 
 // Circuit returns the underlying circuit.
 func (d *DAG) Circuit() *Circuit { return d.c }
 
 // Deps returns the dependency list of instruction i.
-func (d *DAG) Deps(i int) []int { return d.deps[i] }
+func (d *DAG) Deps(i int) []int { return d.deps[d.depOff[i]:d.depOff[i+1]] }
 
 // Succs returns the successors of instruction i.
-func (d *DAG) Succs(i int) []int { return d.succs[i] }
+func (d *DAG) Succs(i int) []int { return d.succs[d.succOff[i]:d.succOff[i+1]] }
 
 // ASAPStart returns the earliest possible start slot of instruction i under
 // unlimited resources.
@@ -109,7 +211,7 @@ func (d *DAG) GateLevelProfile() []int {
 	maxLevel := 0
 	for i := range d.c.Instrs() {
 		l := 0
-		for _, p := range d.deps[i] {
+		for _, p := range d.Deps(i) {
 			if level[p]+1 > l {
 				l = level[p] + 1
 			}
@@ -134,7 +236,7 @@ func (d *DAG) ReadySets() [][]int {
 	maxLevel := 0
 	for i := range d.c.Instrs() {
 		l := 0
-		for _, p := range d.deps[i] {
+		for _, p := range d.Deps(i) {
 			if level[p]+1 > l {
 				l = level[p] + 1
 			}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/ecc"
 	"repro/internal/gen"
+	"repro/internal/memo"
 	"repro/internal/phys"
 	"repro/internal/qla"
 	"repro/internal/sched"
@@ -90,18 +91,53 @@ type Config struct {
 }
 
 // Machine is a configured CQLA with its QLA baseline and memoized adder
-// schedules.
+// plans. Machines are safe for concurrent use: the plan memo and each
+// plan's schedule memo are mutex-guarded, so one machine (or one plan) can
+// be shared across a worker pool.
 type Machine struct {
 	cfg      Config
 	baseline qla.Model
-	adders   map[int]*adderSchedule
+	adders   memo.Map[int, *AdderPlan]
 }
 
-type adderSchedule struct {
-	adder     *gen.Adder
-	dag       *circuit.DAG
-	depth     int
-	makespans map[int]int
+// AdderPlan is the compiled form of the n-bit carry-lookahead adder: the
+// generated circuit, its dependency DAG and a memo of list-scheduled
+// makespans per block budget. Building one costs the circuit generation
+// and DAG construction that used to be repeated inside every fresh
+// Machine; a plan is immutable apart from its schedule memo and safe to
+// share between machines — the arch compilation layer hands one plan to
+// every machine of a sweep so the DAG is built exactly once.
+type AdderPlan struct {
+	adder *gen.Adder
+	dag   *circuit.DAG
+	depth int
+
+	makespans memo.Map[int, int]
+}
+
+// NewAdderPlan compiles the n-bit carry-lookahead adder kernel.
+func NewAdderPlan(n int) *AdderPlan {
+	ad := gen.CarryLookahead(n)
+	dag := circuit.BuildDAG(ad.Circuit)
+	return &AdderPlan{adder: ad, dag: dag, depth: dag.Depth()}
+}
+
+// Bits returns the adder width the plan was compiled for.
+func (a *AdderPlan) Bits() int { return a.adder.N }
+
+// DAG returns the compiled dependency graph. It is shared storage; treat
+// it as read-only.
+func (a *AdderPlan) DAG() *circuit.DAG { return a.dag }
+
+// Depth returns the critical-path length of the adder in slots.
+func (a *AdderPlan) Depth() int { return a.depth }
+
+// Makespan returns the list-scheduled makespan of the adder at the given
+// block budget, memoized per plan.
+func (a *AdderPlan) Makespan(blocks int) int {
+	return a.makespans.Get(blocks, func() int {
+		return sched.ListSchedule(a.dag, blocks).MakespanSlots
+	})
 }
 
 // NewMachine returns a Machine for the given configuration, or an error
@@ -130,7 +166,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	case cfg.TransferOverlap > 1:
 		return nil, fmt.Errorf("cqla: transfer overlap %g > 1", cfg.TransferOverlap)
 	}
-	return &Machine{cfg: cfg, baseline: qla.NewWith(cfg.Params), adders: make(map[int]*adderSchedule)}, nil
+	return &Machine{cfg: cfg, baseline: qla.NewWith(cfg.Params)}, nil
 }
 
 // New is NewMachine for call sites that treat a bad configuration as a
@@ -149,24 +185,20 @@ func (m *Machine) Config() Config { return m.cfg }
 // Baseline returns the QLA model results are normalized against.
 func (m *Machine) Baseline() qla.Model { return m.baseline }
 
-func (m *Machine) adder(n int) *adderSchedule {
-	if a, ok := m.adders[n]; ok {
-		return a
-	}
-	ad := gen.CarryLookahead(n)
-	dag := circuit.BuildDAG(ad.Circuit)
-	a := &adderSchedule{adder: ad, dag: dag, depth: dag.Depth(), makespans: make(map[int]int)}
-	m.adders[n] = a
-	return a
+func (m *Machine) adder(n int) *AdderPlan {
+	return m.adders.Get(n, func() *AdderPlan { return NewAdderPlan(n) })
 }
 
-func (a *adderSchedule) makespan(blocks int) int {
-	if v, ok := a.makespans[blocks]; ok {
-		return v
+// UseAdderPlan seeds the machine's adder memo with a prebuilt shared plan,
+// so this machine's analytic model reuses a DAG (and its schedule memo)
+// compiled once for a whole sweep instead of rebuilding its own. A plan
+// already memoized for the same width is kept — interchangeable by
+// construction — and the machine's results are identical either way.
+func (m *Machine) UseAdderPlan(p *AdderPlan) {
+	if p == nil {
+		return
 	}
-	v := sched.ListSchedule(a.dag, blocks).MakespanSlots
-	a.makespans[blocks] = v
-	return v
+	m.adders.Seed(p.Bits(), p)
 }
 
 // AdderDAG exposes the memoized dependency graph of the n-bit
@@ -236,7 +268,7 @@ func (m *Machine) SlotTime(level int) time.Duration {
 // entirely in the level-2 compute region.
 func (m *Machine) AdderTimeL2(n int) time.Duration {
 	a := m.adder(n)
-	return time.Duration(a.makespan(m.cfg.ComputeBlocks)) * m.SlotTime(2)
+	return time.Duration(a.Makespan(m.cfg.ComputeBlocks)) * m.SlotTime(2)
 }
 
 // QLAAdderTime returns the baseline's time for the same addition: the QLA
@@ -289,7 +321,7 @@ func (m *Machine) TransferStall() time.Duration {
 // plus the transfer stall.
 func (m *Machine) AdderTimeL1(n int) time.Duration {
 	a := m.adder(n)
-	compute := time.Duration(a.makespan(m.Level1Blocks())) * m.SlotTime(1)
+	compute := time.Duration(a.Makespan(m.Level1Blocks())) * m.SlotTime(1)
 	return compute + m.TransferStall()
 }
 

@@ -53,6 +53,7 @@ type Code struct {
 type bitDecoder struct {
 	rows    []uint64 // check-matrix rows as bit masks
 	table   []uint64 // dense syndrome -> minimum-weight correction mask
+	valid   []bool   // achievable syndromes (the lookup table's domain)
 	logical uint64   // support of the logical operator the residual must commute with
 }
 
@@ -62,23 +63,41 @@ func newBitDecoder(h *gf2.Matrix, lookup map[uint64]gf2.Vec, logical gf2.Vec) bi
 		d.rows[i] = h.Row(i).Uint64()
 	}
 	// Unachievable syndromes stay zero in the dense table; they cannot be
-	// produced by any error pattern, so they are never indexed.
+	// produced by any error pattern, so the hot path never indexes them.
+	// The validity bitset exists for DecodeX/DecodeZ, whose contract is to
+	// fail loudly on a syndrome outside the lookup domain rather than
+	// return a zero correction.
 	d.table = make([]uint64, 1<<uint(len(d.rows)))
+	d.valid = make([]bool, len(d.table))
 	for s, cor := range lookup {
 		d.table[s] = cor.Uint64()
+		d.valid[s] = true
 	}
 	return d
+}
+
+// syndromeBits computes the packed syndrome of the error mask e.
+func (d *bitDecoder) syndromeBits(e uint64) uint64 {
+	var s uint64
+	for i, r := range d.rows {
+		s |= uint64(bits.OnesCount64(e&r)&1) << uint(i)
+	}
+	return s
+}
+
+// correct decodes the error mask e and returns the residual after applying
+// the minimum-weight correction, plus whether that residual is a logical
+// fault. It is the packed equivalent of Code.CorrectX/CorrectZ.
+func (d *bitDecoder) correct(e uint64) (residual uint64, logicalFault bool) {
+	r := e ^ d.table[d.syndromeBits(e)]
+	return r, bits.OnesCount64(r&d.logical)&1 == 1
 }
 
 // fault decodes the error mask e and reports whether the residual after
 // applying the minimum-weight correction is a logical fault.
 func (d *bitDecoder) fault(e uint64) bool {
-	var s uint64
-	for i, r := range d.rows {
-		s |= uint64(bits.OnesCount64(e&r)&1) << uint(i)
-	}
-	residual := e ^ d.table[s]
-	return bits.OnesCount64(residual&d.logical)&1 == 1
+	_, f := d.correct(e)
+	return f
 }
 
 // resourceProfile carries the code-specific constants of the CQLA timing and
@@ -298,47 +317,144 @@ func buildLookup(h *gf2.Matrix) map[uint64]gf2.Vec {
 	return table
 }
 
+// The public vector API below is backed by the packed bitDecoder whenever
+// the code fits one 64-bit word — true for every code this package can
+// construct (buildLookup caps N at 20 physical qubits). The vector-algebra
+// expressions remain as the in-worker fallback for inputs the packed path
+// cannot take, and as the oracle the exhaustive equivalence tests compare
+// against.
+//
+// The shims are shaped for the compiler's inlining budget: each is exactly
+// one worker call plus one gf2.RawWord construction, so a caller whose
+// result stays on its stack performs the whole syndrome-extract + decode
+// round without allocating. CorrectX/CorrectZ carry a second return value
+// that pushes them just past the inline threshold; they cost one
+// allocation (the residual vector), down from three. The per-side
+// delegators are marked go:noinline so the shims pay a fixed call, not the
+// delegator's inlined body.
+//
+// Results wider than 64 bits cannot arise from any constructible code; the
+// workers fail loudly if a hypothetical wider code ever materializes
+// rather than silently truncating.
+
 // SyndromeX returns the syndrome of an X-error support vector.
-func (c *Code) SyndromeX(e gf2.Vec) gf2.Vec { return c.HZ.MulVec(e) }
+func (c *Code) SyndromeX(e gf2.Vec) gf2.Vec {
+	m, n := c.syndromeXPacked(e)
+	return gf2.RawWord(n, m)
+}
 
 // SyndromeZ returns the syndrome of a Z-error support vector.
-func (c *Code) SyndromeZ(e gf2.Vec) gf2.Vec { return c.HX.MulVec(e) }
+func (c *Code) SyndromeZ(e gf2.Vec) gf2.Vec {
+	m, n := c.syndromeZPacked(e)
+	return gf2.RawWord(n, m)
+}
 
 // DecodeX returns the minimum-weight X correction for a Z-syndrome.
 func (c *Code) DecodeX(syndrome gf2.Vec) gf2.Vec {
-	cor, ok := c.decodeX[syndrome.Uint64()]
-	if !ok {
-		// Cannot happen for a total table, but fail loudly if it does.
-		panic(fmt.Sprintf("ecc: %s has no X correction for syndrome %s", c.Name, syndrome))
-	}
-	return cor.Clone()
+	m, n := c.decodeXPacked(syndrome)
+	return gf2.RawWord(n, m)
 }
 
 // DecodeZ returns the minimum-weight Z correction for an X-syndrome.
 func (c *Code) DecodeZ(syndrome gf2.Vec) gf2.Vec {
-	cor, ok := c.decodeZ[syndrome.Uint64()]
-	if !ok {
-		panic(fmt.Sprintf("ecc: %s has no Z correction for syndrome %s", c.Name, syndrome))
-	}
-	return cor.Clone()
+	m, n := c.decodeZPacked(syndrome)
+	return gf2.RawWord(n, m)
 }
 
 // CorrectX applies decoding to an X-error vector and reports whether the
 // residual error is a logical fault (anticommutes with the Z-type logical
 // operator).
 func (c *Code) CorrectX(e gf2.Vec) (residual gf2.Vec, logicalFault bool) {
-	cor := c.DecodeX(c.SyndromeX(e))
-	residual = e.Clone()
-	residual.Xor(cor)
-	return residual, residual.Dot(c.LZ)
+	m, fault := c.correctXPacked(e)
+	return gf2.RawWord(c.N, m), fault
 }
 
 // CorrectZ is CorrectX for phase-flip errors.
 func (c *Code) CorrectZ(e gf2.Vec) (residual gf2.Vec, logicalFault bool) {
-	cor := c.DecodeZ(c.SyndromeZ(e))
-	residual = e.Clone()
+	m, fault := c.correctZPacked(e)
+	return gf2.RawWord(c.N, m), fault
+}
+
+//go:noinline
+func (c *Code) syndromeXPacked(e gf2.Vec) (uint64, int) {
+	return c.syndromePacked(e, &c.bitX, c.HZ)
+}
+
+//go:noinline
+func (c *Code) syndromeZPacked(e gf2.Vec) (uint64, int) {
+	return c.syndromePacked(e, &c.bitZ, c.HX)
+}
+
+//go:noinline
+func (c *Code) decodeXPacked(syndrome gf2.Vec) (uint64, int) {
+	return c.decodePacked(syndrome, &c.bitX, c.decodeX, c.HZ.Rows(), "X")
+}
+
+//go:noinline
+func (c *Code) decodeZPacked(syndrome gf2.Vec) (uint64, int) {
+	return c.decodePacked(syndrome, &c.bitZ, c.decodeZ, c.HX.Rows(), "Z")
+}
+
+//go:noinline
+func (c *Code) correctXPacked(e gf2.Vec) (uint64, bool) {
+	return c.correctPacked(e, &c.bitX, c.decodeX, c.HZ, c.LZ)
+}
+
+//go:noinline
+func (c *Code) correctZPacked(e gf2.Vec) (uint64, bool) {
+	return c.correctPacked(e, &c.bitZ, c.decodeZ, c.HX, c.LX)
+}
+
+func (c *Code) syndromePacked(e gf2.Vec, d *bitDecoder, h *gf2.Matrix) (uint64, int) {
+	if c.N <= 64 && e.Len() == c.N {
+		return d.syndromeBits(e.Uint64()), h.Rows()
+	}
+	// Vector fallback; MulVec panics on an operand-length mismatch exactly
+	// as the pre-packed API did.
+	return packVec(h.MulVec(e))
+}
+
+func (c *Code) decodePacked(syndrome gf2.Vec, d *bitDecoder, lookup map[uint64]gf2.Vec, rows int, kind string) (uint64, int) {
+	if c.N <= 64 && syndrome.Len() == rows {
+		s := syndrome.Uint64()
+		if !d.valid[s] {
+			// Cannot happen for a total table, but fail loudly if it does.
+			// Stringify eagerly: passing the vector itself into the panic
+			// would make the parameter escape and cost the warm path its
+			// allocation-freedom.
+			panic(fmt.Sprintf("ecc: %s has no %s correction for syndrome %s", c.Name, kind, syndrome.String()))
+		}
+		return d.table[s], c.N
+	}
+	cor, ok := lookup[syndrome.Uint64()]
+	if !ok {
+		panic(fmt.Sprintf("ecc: %s has no %s correction for syndrome %s", c.Name, kind, syndrome.String()))
+	}
+	// Packing copies the correction by value, so the shim hands back a
+	// fresh vector — callers can mutate it, as they always could.
+	return packVec(cor)
+}
+
+func (c *Code) correctPacked(e gf2.Vec, d *bitDecoder, lookup map[uint64]gf2.Vec, h *gf2.Matrix, logical gf2.Vec) (uint64, bool) {
+	if c.N <= 64 && e.Len() == c.N {
+		return d.correct(e.Uint64())
+	}
+	cor, ok := lookup[h.MulVec(e).Uint64()]
+	if !ok {
+		panic(fmt.Sprintf("ecc: %s has no correction for error %s", c.Name, e.String()))
+	}
+	residual := e.Clone()
 	residual.Xor(cor)
-	return residual, residual.Dot(c.LX)
+	m, _ := packVec(residual)
+	return m, residual.Dot(logical)
+}
+
+// packVec re-packs a vector-path result for the shim constructors.
+func packVec(v gf2.Vec) (uint64, int) {
+	if v.Len() > 64 {
+		panic("ecc: packed decode supports results up to 64 bits")
+	}
+	return v.Uint64(), v.Len()
 }
 
 // Validate checks the internal consistency of the stabilizer data: CSS

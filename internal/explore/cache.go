@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"context"
+
+	"repro/internal/arch"
+	"repro/internal/memo"
+)
+
+// evalCache is the per-sweep evaluation cache the runner threads through
+// every In: one arch.Machine per resolved configuration, one compiled
+// kernel plan per (kernel, bits), and one bound CompiledWorkload per
+// (machine, workload). Machines and plans are safe for concurrent use and
+// deterministic — two caches (or none at all) produce byte-identical
+// sweeps, which TestCacheTransparency pins.
+//
+// The cache exists because a sweep's points overwhelmingly share setup
+// work: every pareto point evaluates the same 256-bit adder kernel on a
+// different machine, and every table row rebuilds machines whose circuit
+// DAGs are identical. Compiling once per sweep turns that setup into a
+// map hit.
+type evalCache struct {
+	machines memo.Map[arch.Config, *arch.Machine]
+	plans    memo.Map[planKey, *arch.WorkloadPlan]
+	compiled memo.Map[compiledKey, *arch.CompiledWorkload]
+}
+
+// planKey identifies a kernel plan: adder and modexp workloads share the
+// carry-lookahead kernel, QFT has its own.
+type planKey struct {
+	qft  bool
+	bits int
+}
+
+// compiledKey identifies a machine-bound compilation.
+type compiledKey struct {
+	cfg arch.Config
+	w   arch.Workload
+}
+
+func newEvalCache() *evalCache { return &evalCache{} }
+
+// machine returns the cached machine for the resolved options, building it
+// on first use.
+func (c *evalCache) machine(opts ...arch.Option) (*arch.Machine, error) {
+	cfg, err := arch.Resolve(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.machines.Do(cfg, func() (*arch.Machine, error) { return arch.New(opts...) })
+}
+
+// plan returns the shared kernel plan for w, compiling it on first use.
+func (c *evalCache) plan(w arch.Workload) (*arch.WorkloadPlan, error) {
+	k := planKey{qft: w.Kind == arch.KindQFT, bits: w.Bits}
+	return c.plans.Do(k, func() (*arch.WorkloadPlan, error) { return arch.PlanWorkload(w) })
+}
+
+// compile returns the compiled workload binding w's shared plan to m,
+// caching the binding per (machine config, workload). A caller-supplied
+// machine that is not the cache's own instance for that config (possible
+// only if the evaluator built one outside In.Machine) gets a fresh
+// uncached binding, so the returned compilation always belongs to m.
+func (c *evalCache) compile(m *arch.Machine, w arch.Workload) (*arch.CompiledWorkload, error) {
+	p, err := c.plan(w)
+	if err != nil {
+		return nil, err
+	}
+	cw, err := c.compiled.Do(compiledKey{cfg: m.Config(), w: w}, func() (*arch.CompiledWorkload, error) {
+		return m.CompileWith(w, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cw.Machine() != m {
+		return m.CompileWith(w, p)
+	}
+	return cw, nil
+}
+
+// Machine returns the unified-API machine at this design point, on the
+// sweep's technology point, reusing the per-sweep cache when the runner
+// provided one. Machines are cached by their resolved configuration, so
+// pass codes by registry name (WithCodeName) — every built-in sweep does.
+func (in In) Machine(opts ...arch.Option) (*arch.Machine, error) {
+	all := append([]arch.Option{arch.WithParams(in.Phys)}, opts...)
+	if in.cache != nil {
+		return in.cache.machine(all...)
+	}
+	return arch.New(all...)
+}
+
+// EvaluateOn routes a workload through the named engine, evaluating a
+// per-sweep compiled form of the workload when the runner provided a
+// cache. Results are identical to Engine.Evaluate either way.
+func (in In) EvaluateOn(ctx context.Context, m *arch.Machine, w arch.Workload, engine string) (arch.Result, error) {
+	eng, err := m.Engine(engine)
+	if err != nil {
+		return arch.Result{}, err
+	}
+	if in.cache != nil {
+		cw, err := in.cache.compile(m, w)
+		if err != nil {
+			return arch.Result{}, err
+		}
+		return eng.EvaluateCompiled(ctx, cw)
+	}
+	return eng.Evaluate(ctx, w)
+}
+
+// Evaluate is EvaluateOn with the engine the sweep was run with
+// (`cqla sweep <name> -engine analytic|des`).
+func (in In) Evaluate(ctx context.Context, m *arch.Machine, w arch.Workload) (arch.Result, error) {
+	return in.EvaluateOn(ctx, m, w, in.Engine)
+}

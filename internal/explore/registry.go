@@ -27,6 +27,7 @@ type In struct {
 
 	exp    *Experiment
 	coords []Value
+	cache  *evalCache
 }
 
 func (in In) value(axis string) Value {

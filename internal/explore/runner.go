@@ -92,6 +92,11 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// One evaluation cache per sweep: machines keyed on their resolved
+	// options, compiled workloads shared across every point and worker.
+	// Deterministic and byte-transparent — see evalCache.
+	cache := newEvalCache()
+
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -115,6 +120,7 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 					Engine: engine,
 					exp:    exp,
 					coords: exp.coordsAt(g.rep),
+					cache:  cache,
 				}
 				ms, err := exp.Eval(runCtx, in)
 				if err != nil {

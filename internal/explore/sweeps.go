@@ -34,22 +34,6 @@ func init() {
 	Register(xvalExp())
 }
 
-// archMachine builds the unified-API machine at one design point, on the
-// sweep's technology point.
-func archMachine(in In, opts ...arch.Option) (*arch.Machine, error) {
-	return arch.New(append([]arch.Option{arch.WithParams(in.Phys)}, opts...)...)
-}
-
-// archEvaluate routes a workload through the engine the sweep was run
-// with (`cqla sweep <name> -engine analytic|des`).
-func archEvaluate(ctx context.Context, in In, m *arch.Machine, w arch.Workload) (arch.Result, error) {
-	eng, err := m.Engine(in.Engine)
-	if err != nil {
-		return arch.Result{}, err
-	}
-	return eng.Evaluate(ctx, w)
-}
-
 // metricsFrom flattens a Result envelope into sweep metrics after any
 // leading extras (e.g. the resolved block budget).
 func metricsFrom(res arch.Result, extra ...Metric) []Metric {
@@ -168,7 +152,7 @@ func table4Exp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName(in.Str("code")),
 				arch.WithBlocks(blocks),
 				arch.WithTransfers(10),
@@ -176,7 +160,7 @@ func table4Exp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			res, err := archEvaluate(ctx, in, m, arch.NewAdder(n, false))
+			res, err := in.Evaluate(ctx, m, arch.NewAdder(n, false))
 			if err != nil {
 				return nil, err
 			}
@@ -214,7 +198,7 @@ func table5Exp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName(in.Str("code")),
 				arch.WithBlocks(blocks),
 				arch.WithTransfers(in.Int("transfers")),
@@ -222,7 +206,7 @@ func table5Exp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			res, err := archEvaluate(ctx, in, m, arch.NewAdder(n, true))
+			res, err := in.Evaluate(ctx, m, arch.NewAdder(n, true))
 			if err != nil {
 				return nil, err
 			}
@@ -340,7 +324,7 @@ func fig8aExp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName("bacon-shor"),
 				arch.WithBlocks(blocks),
 				arch.WithTransfers(10),
@@ -348,7 +332,7 @@ func fig8aExp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			res, err := archEvaluate(ctx, in, m, arch.NewModExp(n))
+			res, err := in.Evaluate(ctx, m, arch.NewModExp(n))
 			if err != nil {
 				return nil, err
 			}
@@ -363,7 +347,7 @@ func fig8bExp() *Experiment {
 		Title: "QFT computation vs communication (Figure 8b)",
 		Axes:  []Axis{Ints("size", cqla.Fig8bSizes()...)},
 		Eval: func(ctx context.Context, in In) ([]Metric, error) {
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName("bacon-shor"),
 				arch.WithBlocks(36),
 				arch.WithTransfers(10),
@@ -371,7 +355,7 @@ func fig8bExp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			res, err := archEvaluate(ctx, in, m, arch.NewQFT(in.Int("size")))
+			res, err := in.Evaluate(ctx, m, arch.NewQFT(in.Int("size")))
 			if err != nil {
 				return nil, err
 			}
@@ -395,7 +379,7 @@ func paretoExp() *Experiment {
 		},
 		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			const n = 256
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName("bacon-shor"),
 				arch.WithBlocks(in.Int("blocks")),
 				arch.WithTransfers(10),
@@ -406,11 +390,7 @@ func paretoExp() *Experiment {
 			}
 			// The frontier marks compare closed-form blended speedups, so
 			// this sweep always evaluates analytically whatever -engine is.
-			eng, err := m.Engine(arch.EngineAnalytic)
-			if err != nil {
-				return nil, err
-			}
-			res, err := eng.Evaluate(ctx, arch.NewAdder(n, true))
+			res, err := in.EvaluateOn(ctx, m, arch.NewAdder(n, true), arch.EngineAnalytic)
 			if err != nil {
 				return nil, err
 			}
@@ -462,7 +442,7 @@ func overlapSensExp() *Experiment {
 			const n = 256
 			// arch options are literal — overlap 0 means none, no sentinel
 			// dance required.
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName("bacon-shor"),
 				arch.WithBlocks(36),
 				arch.WithTransfers(in.Int("transfers")),
@@ -473,11 +453,7 @@ func overlapSensExp() *Experiment {
 			}
 			// Stall and blended speedup are closed-form quantities; the
 			// sweep pins the analytic engine.
-			eng, err := m.Engine(arch.EngineAnalytic)
-			if err != nil {
-				return nil, err
-			}
-			res, err := eng.Evaluate(ctx, arch.NewAdder(n, true))
+			res, err := in.EvaluateOn(ctx, m, arch.NewAdder(n, true), arch.EngineAnalytic)
 			if err != nil {
 				return nil, err
 			}
@@ -515,7 +491,7 @@ func xvalExp() *Experiment {
 			if err != nil {
 				return nil, err
 			}
-			m, err := archMachine(in,
+			m, err := in.Machine(
 				arch.WithCodeName(in.Str("code")),
 				arch.WithBlocks(blocks),
 				arch.WithTransfers(10),
@@ -524,19 +500,11 @@ func xvalExp() *Experiment {
 				return nil, err
 			}
 			w := arch.NewAdder(n, false)
-			analytic, err := m.Engine(arch.EngineAnalytic)
+			a, err := in.EvaluateOn(ctx, m, w, arch.EngineAnalytic)
 			if err != nil {
 				return nil, err
 			}
-			sim, err := m.Engine(arch.EngineDES)
-			if err != nil {
-				return nil, err
-			}
-			a, err := analytic.Evaluate(ctx, w)
-			if err != nil {
-				return nil, err
-			}
-			s, err := sim.Evaluate(ctx, w)
+			s, err := in.EvaluateOn(ctx, m, w, arch.EngineDES)
 			if err != nil {
 				return nil, err
 			}
@@ -577,7 +545,7 @@ func monteCarloExp() *Experiment {
 		Axes: []Axis{
 			Strings("code", codeNames()...),
 			Floats("physical_rate", 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2),
-			Ints("trials", 20000),
+			Ints("trials", 1000000),
 		},
 		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			if err := ctx.Err(); err != nil {

@@ -1,0 +1,67 @@
+// Package memo provides the one concurrency-safe memoization shape the
+// compiled-workload pipeline uses everywhere: look up under a lock, build
+// outside it (builds are deterministic, so concurrent first callers may
+// duplicate work harmlessly), and keep the first inserted value so every
+// caller shares one instance. Machine caches, kernel plans and schedule
+// memos across explore, cqla and arch are all instances of this Map.
+package memo
+
+import "sync"
+
+// Map is a lazily-initialized, mutex-guarded memo table. The zero value
+// is ready to use, so it embeds in structs without a constructor.
+type Map[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// Do returns the memoized value for k, invoking build on first use. The
+// lock is never held across build: deterministic builders may race on a
+// cold key, and the first stored result wins so all callers converge on
+// one shared instance. A build error is returned without caching, so a
+// later call may retry.
+func (c *Map[K, V]) Do(k K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]V)
+	}
+	if prior, ok := c.m[k]; ok {
+		v = prior
+	} else {
+		c.m[k] = v
+	}
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Get returns the memoized value for k from an infallible builder.
+func (c *Map[K, V]) Get(k K, build func() V) V {
+	v, _ := c.Do(k, func() (V, error) { return build(), nil })
+	return v
+}
+
+// Seed stores v for k unless a value is already memoized (first wins,
+// matching Do). It returns the value that ended up in the table.
+func (c *Map[K, V]) Seed(k K, v V) V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[K]V)
+	}
+	if prior, ok := c.m[k]; ok {
+		return prior
+	}
+	c.m[k] = v
+	return v
+}

@@ -1,0 +1,74 @@
+package memo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMemoizes(t *testing.T) {
+	var c Map[int, *int]
+	var builds int
+	v1, err := c.Do(1, func() (*int, error) { builds++; n := 10; return &n, nil })
+	if err != nil || *v1 != 10 {
+		t.Fatalf("Do = (%v, %v)", v1, err)
+	}
+	v2, err := c.Do(1, func() (*int, error) { builds++; n := 99; return &n, nil })
+	if err != nil || v2 != v1 {
+		t.Fatalf("second Do returned a different instance")
+	}
+	if builds != 1 {
+		t.Errorf("built %d times, want 1", builds)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	var c Map[string, int]
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	v, err := c.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestSeedFirstWins(t *testing.T) {
+	var c Map[int, string]
+	if got := c.Seed(1, "a"); got != "a" {
+		t.Fatalf("Seed on empty = %q", got)
+	}
+	if got := c.Seed(1, "b"); got != "a" {
+		t.Errorf("Seed did not keep the first value: %q", got)
+	}
+	if got := c.Get(1, func() string { return "c" }); got != "a" {
+		t.Errorf("Get after Seed = %q, want a", got)
+	}
+}
+
+// TestConcurrentConverges proves every racing caller observes one shared
+// instance, whichever build won.
+func TestConcurrentConverges(t *testing.T) {
+	var c Map[int, *int]
+	var wg sync.WaitGroup
+	var builds atomic.Int64
+	results := make([]*int, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get(5, func() *int { builds.Add(1); n := i; return &n })
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different instance", i)
+		}
+	}
+	if builds.Load() < 1 {
+		t.Error("no build ran")
+	}
+}

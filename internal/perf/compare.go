@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// LoadReport reads a BENCH.json document written by an earlier run. It
+// rejects documents from a newer schema (fields this build cannot
+// interpret) and empty documents, so a truncated artifact fails loudly at
+// the gate instead of producing a vacuous comparison.
+func LoadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema_version %d, this build understands <= %d", path, r.SchemaVersion, SchemaVersion)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perf: %s contains no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// Delta is one benchmark's baseline-to-head movement.
+type Delta struct {
+	Name    string
+	BaseNs  float64
+	HeadNs  float64
+	Pct     float64 // (head-base)/base, in percent; positive = regression
+	BaseAll int64   // allocs/op
+	HeadAll int64
+}
+
+// Comparison is the result of Compare: per-benchmark sec/op deltas over
+// the common set, the names only one side has, and the geometric-mean
+// movement — the number the CI regression gate thresholds on.
+type Comparison struct {
+	Deltas     []Delta
+	BaseOnly   []string
+	HeadOnly   []string
+	GeomeanPct float64
+}
+
+// Compare lines a head report up against a baseline, by benchmark name.
+func Compare(base, head *Report) *Comparison {
+	baseBy := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseBy[r.Name] = r
+	}
+	c := &Comparison{}
+	headSeen := make(map[string]bool, len(head.Benchmarks))
+	logSum, n := 0.0, 0
+	for _, h := range head.Benchmarks {
+		headSeen[h.Name] = true
+		b, ok := baseBy[h.Name]
+		if !ok {
+			c.HeadOnly = append(c.HeadOnly, h.Name)
+			continue
+		}
+		d := Delta{
+			Name:    h.Name,
+			BaseNs:  b.NsPerOp,
+			HeadNs:  h.NsPerOp,
+			BaseAll: b.AllocsPerOp,
+			HeadAll: h.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			ratio := h.NsPerOp / b.NsPerOp
+			d.Pct = (ratio - 1) * 100
+			logSum += math.Log(ratio)
+			n++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, b := range base.Benchmarks {
+		if !headSeen[b.Name] {
+			c.BaseOnly = append(c.BaseOnly, b.Name)
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	sort.Strings(c.BaseOnly)
+	sort.Strings(c.HeadOnly)
+	if n > 0 {
+		c.GeomeanPct = (math.Exp(logSum/float64(n)) - 1) * 100
+	}
+	return c
+}
+
+// WriteText renders the comparison as an aligned benchstat-style table.
+func (c *Comparison) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "name\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\n")
+	for _, d := range c.Deltas {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.2f%%\t%d\t%d\n",
+			d.Name, d.BaseNs, d.HeadNs, d.Pct, d.BaseAll, d.HeadAll)
+	}
+	if len(c.Deltas) > 0 {
+		fmt.Fprintf(tw, "geomean\t\t\t%+.2f%%\t\t\n", c.GeomeanPct)
+	}
+	for _, n := range c.BaseOnly {
+		fmt.Fprintf(tw, "%s\t(baseline only)\t\t\t\t\n", n)
+	}
+	for _, n := range c.HeadOnly {
+		fmt.Fprintf(tw, "%s\t(new)\t\t\t\t\n", n)
+	}
+	return tw.Flush()
+}

@@ -1,12 +1,16 @@
 // Package perf is the repository's machine-readable performance harness.
 // It keeps a registry of named micro- and macro-benchmarks over the hot
 // paths (Monte Carlo error injection, the discrete-event simulator, the
-// analytic model, the exploration engine), runs them programmatically by
-// wrapping testing.Benchmark, and renders the measurements as a versioned
-// BENCH.json document: ns/op, B/op, allocs/op and any custom b.ReportMetric
-// series per benchmark, plus enough host metadata to interpret a number a
-// month later. `cqla bench` is the CLI entry point; CI uploads the document
-// as a per-commit artifact next to the benchstat regression gate.
+// compiled-workload pipeline, the exploration engine), runs them through a
+// native calibrated measurement loop (see B), and renders the measurements
+// as a versioned BENCH.json document: ns/op, B/op, allocs/op and any
+// custom b.ReportMetric series per benchmark, plus enough host metadata to
+// interpret a number a month later. Owning the loop (instead of wrapping
+// testing.Benchmark) gives `cqla bench` a -benchtime knob, so CI can trade
+// precision for wall-clock, and real error propagation from failing
+// bodies. Compare reads a previous document back and prints a
+// benchstat-style delta table (`cqla bench -baseline old/BENCH.json`),
+// which the CI gate prefers over rebuilding the merge-base.
 package perf
 
 import (
@@ -19,7 +23,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"testing"
 	"time"
 )
 
@@ -36,8 +39,9 @@ type Benchmark struct {
 	Name string
 	// Doc is a one-line description carried into the report.
 	Doc string
-	// F is the benchmark body, a standard testing.B function.
-	F func(b *testing.B)
+	// F is the benchmark body; B mirrors the testing.B API surface the
+	// suite needs (N, timers, ReportMetric, Fatal).
+	F func(b *B)
 }
 
 var (
@@ -110,17 +114,26 @@ type Report struct {
 	Benchmarks    []Result  `json:"benchmarks"`
 }
 
+// DefaultBenchTime is the per-benchmark time budget when Options leaves
+// BenchTime zero — the same default as `go test -bench`.
+const DefaultBenchTime = time.Second
+
 // Options configures one harness run.
 type Options struct {
 	// Filter selects benchmarks by name; nil runs everything.
 	Filter *regexp.Regexp
+	// BenchTime is the per-benchmark measurement budget; zero selects
+	// DefaultBenchTime. Shorter budgets trade precision for wall-clock —
+	// CI's BENCH.json generation runs at 100ms.
+	BenchTime time.Duration
 	// Progress, if non-nil, is called after each benchmark completes.
 	Progress func(done, total int, r Result)
 }
 
 // Run measures every registered benchmark matching the filter and returns
 // the report. It errors when the filter matches nothing, so a typo in
-// `cqla bench -filter` fails loudly instead of emitting an empty document.
+// `cqla bench -filter` fails loudly instead of emitting an empty document,
+// and when any benchmark body calls Fatal.
 func Run(opt Options) (*Report, error) {
 	return RunBenchmarks(Benchmarks(), opt)
 }
@@ -136,10 +149,17 @@ func RunBenchmarks(bms []Benchmark, opt Options) (*Report, error) {
 	if len(selected) == 0 {
 		return nil, fmt.Errorf("perf: no benchmark matches (have %s)", strings.Join(names(bms), ", "))
 	}
+	benchtime := opt.BenchTime
+	if benchtime <= 0 {
+		benchtime = DefaultBenchTime
+	}
 	rep := newReport()
 	start := time.Now()
 	for i, bm := range selected {
-		r := measure(bm)
+		r, err := measure(bm, benchtime)
+		if err != nil {
+			return nil, err
+		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		if opt.Progress != nil {
 			opt.Progress(i+1, len(selected), r)
@@ -161,30 +181,6 @@ func newReport() *Report {
 		Host:          host,
 		StartedAt:     time.Now().UTC(),
 	}
-}
-
-// measure runs one benchmark through testing.Benchmark with allocation
-// tracking always on, and flattens the result.
-func measure(bm Benchmark) Result {
-	br := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		bm.F(b)
-	})
-	r := Result{
-		Name:        bm.Name,
-		Doc:         bm.Doc,
-		Iterations:  br.N,
-		NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
-		BytesPerOp:  br.AllocedBytesPerOp(),
-		AllocsPerOp: br.AllocsPerOp(),
-	}
-	if len(br.Extra) > 0 {
-		r.Metrics = make(map[string]float64, len(br.Extra))
-		for unit, v := range br.Extra {
-			r.Metrics[unit] = v
-		}
-	}
-	return r
 }
 
 func names(bms []Benchmark) []string {

@@ -3,7 +3,6 @@ package perf
 import (
 	"context"
 	"math/rand"
-	"testing"
 	"time"
 
 	"repro/internal/arch"
@@ -26,7 +25,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "SyndromeDecodeSteane",
 		Doc:  "one X-error decode of the Steane code through the public vector API",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			c := ecc.Steane()
 			e := gf2.NewVec(c.N)
 			e.Set(2, true)
@@ -43,7 +42,7 @@ func init() {
 		// (same code, rate, trial count and seed) so bench.txt and
 		// BENCH.json report the same workload under the same name.
 		Doc: "1000 hierarchical level-2 Monte Carlo trials, Bacon-Shor code at p=0.01",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			c := ecc.BaconShor()
 			rng := rand.New(rand.NewSource(5))
 			b.ResetTimer()
@@ -55,7 +54,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "ConcatenatedMCLevel2Steane",
 		Doc:  "2000 hierarchical level-2 Monte Carlo trials, Steane code at p=1e-3",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			c := ecc.Steane()
 			rng := rand.New(rand.NewSource(7))
 			var r ecc.MonteCarloResult
@@ -69,7 +68,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "MonteCarloXSeededSerial",
 		Doc:  "20000 seeded Monte Carlo trials on one worker (per-core throughput)",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			c := ecc.Steane()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -80,7 +79,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "MonteCarloXSeeded",
 		Doc:  "20000 seeded Monte Carlo trials across the worker pool (scales with cores)",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			c := ecc.Steane()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -91,7 +90,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "DES64BitAdder",
 		Doc:  "discrete-event simulation of the 64-bit adder, DAG build included",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			ad := gen.CarryLookahead(64)
 			cfg := des.Config{Blocks: 9, Channels: 12, ResidentQubits: 700,
 				SlotTime: 100 * time.Millisecond, TransportTime: 200 * time.Millisecond}
@@ -106,7 +105,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "DESEventLoop64BitAdder",
 		Doc:  "the des event loop alone on a prebuilt 64-bit adder DAG",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			ad := gen.CarryLookahead(64)
 			d := circuit.BuildDAG(ad.Circuit)
 			cfg := des.Config{Blocks: 9, Channels: 12, ResidentQubits: 700,
@@ -122,7 +121,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "AnalyticAdder256",
 		Doc:  "one closed-form evaluation of the 256-bit adder on the paper's working point",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			m, err := arch.New(
 				arch.WithParams(phys.Projected()),
 				arch.WithCodeName("bacon-shor"),
@@ -148,7 +147,7 @@ func init() {
 	mustRegister(Benchmark{
 		Name: "ExplorePareto",
 		Doc:  "the 45-point pareto sweep through the explore worker pool (macro)",
-		F: func(b *testing.B) {
+		F: func(b *B) {
 			exp, err := explore.Lookup("pareto")
 			if err != nil {
 				b.Fatal(err)
@@ -160,6 +159,79 @@ func init() {
 					b.Fatal(err)
 				}
 			}
+		},
+	})
+}
+
+// Compiled-workload pipeline benchmarks (PR 5): the before/after-sensitive
+// measurements of the arena DAG build, the compile-once/evaluate-many
+// shape, and the bitmask-backed public decode. Registered so the gains
+// stay visible in BENCH.json and guarded by the CI regression gate.
+func init() {
+	mustRegister(Benchmark{
+		Name: "BuildDAG",
+		Doc:  "one arena build of the 64-bit adder's dependency DAG (the des setup cost)",
+		F: func(b *B) {
+			ad := gen.CarryLookahead(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				circuit.BuildDAG(ad.Circuit)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "BuildDAGInto",
+		Doc:  "rebuilding the 64-bit adder DAG into a reused arena (zero allocations)",
+		F: func(b *B) {
+			ad := gen.CarryLookahead(64)
+			d := circuit.BuildDAG(ad.Circuit)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				circuit.BuildDAGInto(d, ad.Circuit)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "CompileOnceEvalMany",
+		Doc:  "one des-engine evaluation of a precompiled 64-bit adder (event loop only)",
+		F: func(b *B) {
+			m, err := arch.New(arch.WithCodeName("bacon-shor"), arch.WithBlocks(9))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := m.Engine(arch.EngineDES)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cw, err := m.Compile(arch.NewAdder(64, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvaluateCompiled(ctx, cw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "PublicDecode",
+		Doc:  "one public-API syndrome extraction + table decode, Steane X errors (zero allocations)",
+		F: func(b *B) {
+			c := ecc.Steane()
+			e := gf2.NewVec(c.N)
+			e.Set(2, true)
+			e.Set(5, true)
+			weight := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := c.SyndromeX(e)
+				cor := c.DecodeX(s)
+				weight += cor.Weight()
+			}
+			b.ReportMetric(float64(weight/b.N), "correction-weight")
 		},
 	})
 }
