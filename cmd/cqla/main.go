@@ -6,8 +6,8 @@
 // Usage:
 //
 //	cqla [-current] <experiment>
-//	cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
-//	cqla serve [-addr :8400]
+//	cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S] [-trace out.json]
+//	cqla serve [-addr :8400] [-pprof] [-log-level info] [-log-format text|json]
 //	cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]]
 //
 // Most experiments live in the explore registry and accept either form:
@@ -40,6 +40,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/phys"
 )
@@ -98,7 +99,7 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		emitSweep(exp, p, "text", arch.EngineAnalytic, 0, 1, false)
+		emitSweep(exp, p, "text", arch.EngineAnalytic, 0, 1, false, "")
 	}
 }
 
@@ -112,7 +113,7 @@ func runAll(p phys.Params) {
 	}
 	for _, e := range explore.Experiments() {
 		fmt.Printf("==== sweep %s ====\n", e.Name)
-		emitSweep(e, p, "text", arch.EngineAnalytic, 0, 1, false)
+		emitSweep(e, p, "text", arch.EngineAnalytic, 0, 1, false, "")
 		fmt.Println()
 	}
 }
@@ -126,6 +127,7 @@ func runSweep(args []string, current bool) {
 	seed := fs.Int64("seed", 1, "base seed for stochastic sweeps")
 	cur := fs.Bool("current", current, "use currently demonstrated ion-trap parameters instead of projected")
 	progress := fs.Bool("progress", false, "report point completion on stderr")
+	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the sweep to this path (open in chrome://tracing or https://ui.perfetto.dev)")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cqla sweep <name> [flags]\n\nFlags:\n")
 		fs.PrintDefaults()
@@ -162,7 +164,7 @@ func runSweep(args []string, current bool) {
 	if *cur {
 		p = phys.Current()
 	}
-	emitSweep(exp, p, *format, eng, *parallel, *seed, *progress)
+	emitSweep(exp, p, *format, eng, *parallel, *seed, *progress, *trace)
 }
 
 // runServe handles `cqla serve [flags]`: the registry-driven HTTP API
@@ -175,6 +177,9 @@ func runServe(args []string) {
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result-cache LRU budget in bytes (0 disables caching)")
 	maxEval := fs.Int("max-evaluations", 1, "sweep evaluations running at once; further jobs queue")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs and requests")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage: cqla serve [flags]
 
@@ -184,12 +189,17 @@ Serves the sweep registry as a JSON API:
   GET  /v1/jobs                list jobs, newest first
   GET  /v1/jobs/{id}           job state, progress, report when done
   GET  /v1/jobs/{id}/report    raw report document of a done job
+  GET  /v1/version             schema version and build identity
+  GET  /metrics                Prometheus text exposition (jobs, caches,
+                               per-sweep evaluation latency, HTTP)
+  /debug/pprof/...             Go profiling endpoints (with -pprof)
 
 Identical runs — same (sweep, phys, seed, engine) at any parallelism —
 coalesce onto one evaluation and repeats are served from an in-memory LRU
 cache (the X-Cache response header says which). An {"async": true} run
 returns 202 with a job id to poll. SIGINT/SIGTERM drains in-flight jobs
-for up to -drain before exiting.
+for up to -drain before exiting. Requests and job lifecycles are logged
+to stderr as structured logs (-log-level, -log-format).
 
 Flags:
 `)
@@ -201,9 +211,17 @@ Flags:
 		fs.Usage()
 		os.Exit(2)
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "cqla: unknown -log-format %q (have text, json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logFormat == "json")
 	api := explore.NewServer(
 		explore.WithCacheBytes(*cacheBytes),
 		explore.WithMaxEvaluations(*maxEval),
+		explore.WithObservability(obs.NewRegistry()),
+		explore.WithLogger(logger),
+		explore.WithPprof(*pprofOn),
 	)
 	srv := &http.Server{
 		Addr:              *addr,
@@ -362,10 +380,16 @@ func listBenchmarks(w io.Writer) {
 }
 
 // emitSweep runs one registered experiment through the exploration engine
-// and writes it to stdout in the requested format.
-func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, parallel int, seed int64, progress bool) {
+// and writes it to stdout in the requested format. A non-empty trace path
+// records every evaluation stage as Chrome trace_event JSON.
+func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, parallel int, seed int64, progress bool, trace string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var tracer *obs.Tracer
+	if trace != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	opts := explore.Options{Phys: p, Parallel: parallel, Seed: seed, Engine: engine}
 	if progress {
 		opts.Progress = func(done, total int) {
@@ -382,10 +406,32 @@ func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, pa
 		}
 		log.Fatalf("cqla: sweep %s: %v", exp.Name, err)
 	}
+	if tracer != nil {
+		if err := writeTrace(trace, tracer); err != nil {
+			log.Fatalf("cqla: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cqla: wrote %d spans to %s\n", tracer.Len(), trace)
+	}
 	r := &explore.Report{Experiment: exp, Phys: p.Name, Seed: seed, Engine: engine, Points: pts}
 	if err := r.Emit(os.Stdout, format); err != nil {
 		log.Fatalf("cqla: emit %s: %v", exp.Name, err)
 	}
+}
+
+// writeTrace dumps the recorded spans as Chrome trace_event JSON.
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tracer.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("write trace %s: %w", path, werr)
+	}
+	return nil
 }
 
 // validFormat rejects unknown -format values before the sweep runs,
@@ -409,8 +455,8 @@ func listSweeps(w io.Writer) {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
-       cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S]
-       cqla serve [-addr :8400]
+       cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S] [-trace out.json]
+       cqla serve [-addr :8400] [-pprof] [-log-level info] [-log-format text|json]
        cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]]
 
 Hand-laid artifacts:

@@ -2,8 +2,10 @@ package arch
 
 import (
 	"context"
+	"strconv"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // analyticEngine evaluates workloads with the paper's closed-form model:
@@ -33,6 +35,14 @@ func (e analyticEngine) Evaluate(ctx context.Context, w Workload) (Result, error
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
+	}
+	// With a tracer in ctx the closed-form evaluation is one span; without
+	// one this line is a no-op.
+	_, sp := obs.StartSpan(ctx, "analytic-eval")
+	defer sp.End()
+	if sp != nil {
+		sp.Annotate("kind", string(w.Kind))
+		sp.Annotate("bits", strconv.Itoa(w.Bits))
 	}
 	cm := e.m.cq
 	n := w.Bits

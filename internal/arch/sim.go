@@ -2,11 +2,13 @@ package arch
 
 import (
 	"context"
+	"strconv"
 	"time"
 
 	"repro/internal/cqla"
 	"repro/internal/des"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // simEngine evaluates workloads by discrete-event simulation: the actual
@@ -59,7 +61,9 @@ func (m *Machine) desConfig() des.Config {
 // happened at compile time, so repeated evaluations pay only the event
 // loop.
 func (e simEngine) simulate(ctx context.Context, cw *CompiledWorkload) (des.Stats, time.Duration, error) {
+	_, sp := obs.StartSpan(ctx, "sim-run")
 	stats, err := des.RunDAG(ctx, cw.plan.DAG(), cw.desCfg)
+	sp.End()
 	if err != nil {
 		return des.Stats{}, 0, err
 	}
@@ -85,7 +89,11 @@ func statMetrics(stats des.Stats, computeOnly time.Duration) []Metric {
 // EvaluateCompiled — the DAG build that dominates a one-shot evaluation at
 // paper sizes then happens a single time.
 func (e simEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
+	// The one-shot path pays circuit generation + DAG build here; the
+	// span makes that cost visible next to sim-run in a -trace dump.
+	_, sp := obs.StartSpan(ctx, "plan-compile")
 	cw, err := e.m.Compile(w)
+	sp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -96,15 +104,25 @@ func (e simEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (
 	if cw == nil || cw.m != e.m {
 		return Result{}, errForeignCompile
 	}
-	cm := e.m.cq
+	ctx, sp := obs.StartSpan(ctx, "des-eval")
+	defer sp.End()
 	w := cw.w
+	if sp != nil {
+		sp.Annotate("kind", string(w.Kind))
+		sp.Annotate("bits", strconv.Itoa(w.Bits))
+	}
+	// Every workload kind runs the same compiled kernel once; only the
+	// metric decode below differs.
+	stats, computeOnly, err := e.simulate(ctx, cw)
+	if err != nil {
+		return Result{}, err
+	}
+	_, dec := obs.StartSpan(ctx, "decode")
+	defer dec.End()
+	cm := e.m.cq
 	n := w.Bits
 	switch w.Kind {
 	case KindAdder:
-		stats, computeOnly, err := e.simulate(ctx, cw)
-		if err != nil {
-			return Result{}, err
-		}
 		q := gen.NewModExp(n).LogicalQubits()
 		metrics := []Metric{
 			// Area has no dynamic component; the simulator reuses the
@@ -119,10 +137,6 @@ func (e simEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (
 		// The full modular-exponentiation circuit is out of simulation
 		// reach at paper sizes; simulate its adder kernel and scale by the
 		// sequential adder calls, as the analytic model does.
-		stats, computeOnly, err := e.simulate(ctx, cw)
-		if err != nil {
-			return Result{}, err
-		}
 		me := gen.NewModExp(n)
 		seq := float64(me.AdderCalls()) / float64(me.ConcurrentAdders())
 		metrics := []Metric{
@@ -140,10 +154,6 @@ func (e simEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (
 		}
 		return e.m.result(EngineDES, w, metrics), nil
 	default: // KindQFT, by Validate
-		stats, computeOnly, err := e.simulate(ctx, cw)
-		if err != nil {
-			return Result{}, err
-		}
 		return e.m.result(EngineDES, w, statMetrics(stats, computeOnly)), nil
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/memo"
+	"repro/internal/obs"
 )
 
 // evalCache is the per-sweep evaluation cache the runner threads through
@@ -19,10 +20,20 @@ import (
 // different machine, and every table row rebuilds machines whose circuit
 // DAGs are identical. Compiling once per sweep turns that setup into a
 // map hit.
+//
+// When the runner was given a metrics registry, each tier counts its
+// hits and misses (cqla_evalcache_{hits,misses}_total, labeled by sweep
+// and kind: machine, plan, compiled). The counters are nil — free — when
+// observability is off, and a racing duplicate build counts as a miss on
+// both racers, which is the truth.
 type evalCache struct {
 	machines memo.Map[arch.Config, *arch.Machine]
 	plans    memo.Map[planKey, *arch.WorkloadPlan]
 	compiled memo.Map[compiledKey, *arch.CompiledWorkload]
+
+	machineHits, machineMisses   *obs.Counter
+	planHits, planMisses         *obs.Counter
+	compiledHits, compiledMisses *obs.Counter
 }
 
 // planKey identifies a kernel plan: adder and modexp workloads share the
@@ -38,7 +49,32 @@ type compiledKey struct {
 	w   arch.Workload
 }
 
-func newEvalCache() *evalCache { return &evalCache{} }
+// newEvalCache returns the sweep's cache; reg may be nil (no metrics).
+func newEvalCache(reg *obs.Registry, sweep string) *evalCache {
+	c := &evalCache{}
+	if reg != nil {
+		hits := reg.CounterVec("cqla_evalcache_hits_total",
+			"Evaluation-cache hits by tier (machine, plan, compiled).",
+			"sweep", "kind")
+		misses := reg.CounterVec("cqla_evalcache_misses_total",
+			"Evaluation-cache misses by tier (machine, plan, compiled).",
+			"sweep", "kind")
+		c.machineHits, c.machineMisses = hits.With(sweep, "machine"), misses.With(sweep, "machine")
+		c.planHits, c.planMisses = hits.With(sweep, "plan"), misses.With(sweep, "plan")
+		c.compiledHits, c.compiledMisses = hits.With(sweep, "compiled"), misses.With(sweep, "compiled")
+	}
+	return c
+}
+
+// count increments hit or miss depending on whether the memoized build
+// ran; nil counters (observability off) make it a no-op.
+func count(hit, miss *obs.Counter, built bool) {
+	if built {
+		miss.Inc()
+	} else {
+		hit.Inc()
+	}
+}
 
 // machine returns the cached machine for the resolved options, building it
 // on first use.
@@ -47,13 +83,30 @@ func (c *evalCache) machine(opts ...arch.Option) (*arch.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.machines.Do(cfg, func() (*arch.Machine, error) { return arch.New(opts...) })
+	built := false
+	m, err := c.machines.Do(cfg, func() (*arch.Machine, error) { built = true; return arch.New(opts...) })
+	if err == nil {
+		count(c.machineHits, c.machineMisses, built)
+	}
+	return m, err
 }
 
 // plan returns the shared kernel plan for w, compiling it on first use.
-func (c *evalCache) plan(w arch.Workload) (*arch.WorkloadPlan, error) {
+// A cold plan compile — the circuit generation and DAG build that
+// dominate one-shot evaluation — is recorded as a "dag-build" span.
+func (c *evalCache) plan(ctx context.Context, w arch.Workload) (*arch.WorkloadPlan, error) {
 	k := planKey{qft: w.Kind == arch.KindQFT, bits: w.Bits}
-	return c.plans.Do(k, func() (*arch.WorkloadPlan, error) { return arch.PlanWorkload(w) })
+	built := false
+	p, err := c.plans.Do(k, func() (*arch.WorkloadPlan, error) {
+		built = true
+		_, sp := obs.StartSpan(ctx, "dag-build")
+		defer sp.End()
+		return arch.PlanWorkload(w)
+	})
+	if err == nil {
+		count(c.planHits, c.planMisses, built)
+	}
+	return p, err
 }
 
 // compile returns the compiled workload binding w's shared plan to m,
@@ -61,17 +114,20 @@ func (c *evalCache) plan(w arch.Workload) (*arch.WorkloadPlan, error) {
 // machine that is not the cache's own instance for that config (possible
 // only if the evaluator built one outside In.Machine) gets a fresh
 // uncached binding, so the returned compilation always belongs to m.
-func (c *evalCache) compile(m *arch.Machine, w arch.Workload) (*arch.CompiledWorkload, error) {
-	p, err := c.plan(w)
+func (c *evalCache) compile(ctx context.Context, m *arch.Machine, w arch.Workload) (*arch.CompiledWorkload, error) {
+	p, err := c.plan(ctx, w)
 	if err != nil {
 		return nil, err
 	}
+	built := false
 	cw, err := c.compiled.Do(compiledKey{cfg: m.Config(), w: w}, func() (*arch.CompiledWorkload, error) {
+		built = true
 		return m.CompileWith(w, p)
 	})
 	if err != nil {
 		return nil, err
 	}
+	count(c.compiledHits, c.compiledMisses, built)
 	if cw.Machine() != m {
 		return m.CompileWith(w, p)
 	}
@@ -92,14 +148,18 @@ func (in In) Machine(opts ...arch.Option) (*arch.Machine, error) {
 
 // EvaluateOn routes a workload through the named engine, evaluating a
 // per-sweep compiled form of the workload when the runner provided a
-// cache. Results are identical to Engine.Evaluate either way.
+// cache. Results are identical to Engine.Evaluate either way. With a
+// tracer in ctx (cqla sweep -trace), the compile and evaluate stages are
+// recorded as "plan-compile" and engine-level spans.
 func (in In) EvaluateOn(ctx context.Context, m *arch.Machine, w arch.Workload, engine string) (arch.Result, error) {
 	eng, err := m.Engine(engine)
 	if err != nil {
 		return arch.Result{}, err
 	}
 	if in.cache != nil {
-		cw, err := in.cache.compile(m, w)
+		compileCtx, sp := obs.StartSpan(ctx, "plan-compile")
+		cw, err := in.cache.compile(compileCtx, m, w)
+		sp.End()
 		if err != nil {
 			return arch.Result{}, err
 		}

@@ -8,9 +8,12 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/phys"
 )
 
@@ -74,13 +77,15 @@ type Job struct {
 	Key string
 
 	finished chan struct{} // closed once state is done or failed
+	created  time.Time     // when Submit admitted the job
 
-	mu    sync.Mutex
-	state JobState
-	done  int
-	total int
-	doc   []byte
-	err   error
+	mu      sync.Mutex
+	state   JobState
+	started time.Time // when the job won an evaluation slot
+	done    int
+	total   int
+	doc     []byte
+	err     error
 }
 
 // JobStatus is a point-in-time snapshot of a job, shaped for the API.
@@ -144,10 +149,18 @@ func (j *Job) Document() ([]byte, error) {
 	return nil, fmt.Errorf("explore: job %s is %s, not done", j.ID, j.state)
 }
 
-func (j *Job) setState(s JobState) {
+// markRunning moves the job from queued to running and records how long
+// it waited for its evaluation slot.
+func (m *Manager) markRunning(j *Job) {
 	j.mu.Lock()
-	j.state = s
+	j.state = JobRunning
+	j.started = time.Now()
+	wait := j.started.Sub(j.created)
 	j.mu.Unlock()
+	m.met.queued.Dec()
+	m.met.running.Inc()
+	m.met.queueWait.Observe(wait.Seconds())
+	m.log.Info("job running", "job", j.ID, "sweep", j.Spec.Sweep, "queue_wait_s", wait.Seconds())
 }
 
 func (j *Job) setProgress(done, total int) {
@@ -167,10 +180,13 @@ type managerConfig struct {
 	maxEval    int
 	cacheBytes int64
 	history    int
+	obs        *obs.Registry
+	log        *slog.Logger
+	pprof      bool
 }
 
 func defaultManagerConfig() managerConfig {
-	return managerConfig{maxEval: 1, cacheBytes: 64 << 20, history: 256}
+	return managerConfig{maxEval: 1, cacheBytes: 64 << 20, history: 256, log: obs.NopLogger()}
 }
 
 // ManagerOption configures a Manager (and, through NewServer, a Server).
@@ -206,6 +222,69 @@ func WithJobHistory(n int) ManagerOption {
 	}
 }
 
+// WithObservability attaches a metrics registry. The manager records job
+// lifecycle series (cqla_jobs_*, cqla_job_*_seconds, cqla_result_cache_*)
+// and threads the registry into every sweep evaluation; through NewServer
+// the same registry backs GET /metrics. Nil (the default) disables all of
+// it at zero cost.
+func WithObservability(reg *obs.Registry) ManagerOption {
+	return func(c *managerConfig) { c.obs = reg }
+}
+
+// WithLogger sets the structured logger for job lifecycle and HTTP access
+// logs. Nil restores the default no-op logger.
+func WithLogger(l *slog.Logger) ManagerOption {
+	return func(c *managerConfig) {
+		if l == nil {
+			l = obs.NopLogger()
+		}
+		c.log = l
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the server built
+// from these options (NewManager itself ignores it). Off by default: the
+// profile endpoints can stall the process and belong behind a flag.
+func WithPprof(enabled bool) ManagerOption {
+	return func(c *managerConfig) { c.pprof = enabled }
+}
+
+// jobMetrics is the manager's resolved instrument set. The zero value —
+// every handle nil — is the disabled state; each method call on a nil
+// handle is a no-op, so the lifecycle code below carries no branches.
+type jobMetrics struct {
+	submitted       *obs.Counter
+	completedDone   *obs.Counter
+	completedFailed *obs.Counter
+	coalesced       *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	queued          *obs.Gauge
+	running         *obs.Gauge
+	queueWait       *obs.Histogram
+	runDur          *obs.Histogram
+}
+
+func newJobMetrics(reg *obs.Registry) jobMetrics {
+	if reg == nil {
+		return jobMetrics{}
+	}
+	completed := reg.CounterVec("cqla_jobs_completed_total",
+		"Jobs finished, by terminal state.", "state")
+	return jobMetrics{
+		submitted:       reg.Counter("cqla_jobs_submitted_total", "Job submissions admitted (including coalesced and cache-served ones)."),
+		completedDone:   completed.With(string(JobDone)),
+		completedFailed: completed.With(string(JobFailed)),
+		coalesced:       reg.Counter("cqla_jobs_coalesced_total", "Submissions attached to an already-running job with the same key."),
+		cacheHits:       reg.Counter("cqla_result_cache_hits_total", "Submissions served from the result cache without evaluating."),
+		cacheMisses:     reg.Counter("cqla_result_cache_misses_total", "Submissions that started a new evaluation."),
+		queued:          reg.Gauge("cqla_jobs_queued", "Jobs waiting for an evaluation slot."),
+		running:         reg.Gauge("cqla_jobs_running", "Jobs holding an evaluation slot."),
+		queueWait:       reg.Histogram("cqla_job_queue_wait_seconds", "Time from admission to winning an evaluation slot.", nil),
+		runDur:          reg.Histogram("cqla_job_run_seconds", "Evaluation wall-clock time of jobs that reached running.", nil),
+	}
+}
+
 // Manager runs sweep evaluations as jobs: admitted requests coalesce by
 // content address, queue on a global evaluation semaphore, publish
 // progress, and land their documents in an LRU result cache.
@@ -215,6 +294,9 @@ type Manager struct {
 	sem        chan struct{}
 	cache      *docCache
 	history    int
+	reg        *obs.Registry // threaded into every sweep evaluation
+	met        jobMetrics
+	log        *slog.Logger
 
 	wg sync.WaitGroup
 
@@ -232,13 +314,23 @@ func NewManager(opts ...ManagerOption) *Manager {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return newManager(cfg)
+}
+
+func newManager(cfg managerConfig) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
+	if cfg.log == nil {
+		cfg.log = obs.NopLogger()
+	}
 	return &Manager{
 		ctx:        ctx,
 		cancelJobs: cancel,
 		sem:        make(chan struct{}, cfg.maxEval),
 		cache:      newDocCache(cfg.cacheBytes),
 		history:    cfg.history,
+		reg:        cfg.obs,
+		met:        newJobMetrics(cfg.obs),
+		log:        cfg.log,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
 	}
@@ -266,23 +358,32 @@ func (m *Manager) Submit(exp *Experiment, spec JobSpec) (*Job, bool, error) {
 	if m.closed {
 		return nil, false, ErrShuttingDown
 	}
+	m.met.submitted.Inc()
 	if j := m.inflight[key]; j != nil {
+		m.met.coalesced.Inc()
+		m.log.Debug("job coalesced", "job", j.ID, "sweep", spec.Sweep, "key", key)
 		return j, false, nil
 	}
 	if doc, ok := m.cache.get(key); ok {
+		m.met.cacheHits.Inc()
 		j := m.newJobLocked(spec, key, exp.Size())
 		j.state = JobDone
 		j.done = j.total
 		j.doc = doc
 		close(j.finished)
 		m.trimLocked()
+		m.log.Debug("job served from cache", "job", j.ID, "sweep", spec.Sweep, "key", key)
 		return j, true, nil
 	}
+	m.met.cacheMisses.Inc()
 	j := m.newJobLocked(spec, key, exp.Size())
 	m.inflight[key] = j
+	m.met.queued.Inc()
 	m.wg.Add(1)
 	go m.run(j, exp)
 	m.trimLocked()
+	m.log.Info("job queued", "job", j.ID, "sweep", spec.Sweep, "engine", spec.Engine,
+		"phys", spec.Phys.Name, "seed", spec.Seed, "key", key)
 	return j, false, nil
 }
 
@@ -294,6 +395,7 @@ func (m *Manager) newJobLocked(spec JobSpec, key string, total int) *Job {
 		Spec:     spec,
 		Key:      key,
 		finished: make(chan struct{}),
+		created:  time.Now(),
 		state:    JobQueued,
 		total:    total,
 	}
@@ -313,13 +415,14 @@ func (m *Manager) run(j *Job, exp *Experiment) {
 		return
 	}
 	defer func() { <-m.sem }()
-	j.setState(JobRunning)
+	m.markRunning(j)
 	pts, err := Run(m.ctx, exp, Options{
 		Phys:     j.Spec.Phys,
 		Parallel: j.Spec.Parallel,
 		Seed:     j.Spec.Seed,
 		Engine:   j.Spec.Engine,
 		Progress: j.setProgress,
+		Obs:      m.reg,
 	})
 	if err != nil {
 		m.finish(j, nil, err)
@@ -339,6 +442,11 @@ func (m *Manager) run(j *Job, exp *Experiment) {
 // can never race ahead of the cache and recompute.
 func (m *Manager) finish(j *Job, doc []byte, err error) {
 	j.mu.Lock()
+	prev := j.state
+	var ran time.Duration
+	if prev == JobRunning {
+		ran = time.Since(j.started)
+	}
 	if err != nil {
 		j.state = JobFailed
 		j.err = err
@@ -348,6 +456,23 @@ func (m *Manager) finish(j *Job, doc []byte, err error) {
 		j.done = j.total
 	}
 	j.mu.Unlock()
+	// A job that never won its slot (shutdown while queued) was still
+	// counted in the queued gauge; decrement whichever phase it left so the
+	// gauges drain to zero with the manager.
+	switch prev {
+	case JobQueued:
+		m.met.queued.Dec()
+	case JobRunning:
+		m.met.running.Dec()
+		m.met.runDur.Observe(ran.Seconds())
+	}
+	if err != nil {
+		m.met.completedFailed.Inc()
+		m.log.Warn("job failed", "job", j.ID, "sweep", j.Spec.Sweep, "run_s", ran.Seconds(), "error", err)
+	} else {
+		m.met.completedDone.Inc()
+		m.log.Info("job done", "job", j.ID, "sweep", j.Spec.Sweep, "run_s", ran.Seconds(), "bytes", len(doc))
+	}
 	if err == nil {
 		m.cache.put(j.Key, doc)
 	}

@@ -8,8 +8,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/phys"
 )
 
@@ -34,9 +36,25 @@ type Options struct {
 	// any point evaluates.
 	Engine string
 	// Progress, if non-nil, is called after each point completes with the
-	// running count and the sweep total. Calls are serialized and the
-	// count is monotone.
+	// running count and the sweep total.
+	//
+	// Concurrency contract: although points evaluate on a worker pool,
+	// Progress calls are funneled through the runner's single progress
+	// mutex — the callback is never invoked concurrently with itself, and
+	// successive calls observe a strictly increasing done count ending at
+	// total. The callback may therefore mutate unsynchronized state (the
+	// job manager hands Job.setProgress here; the CLI writes to stderr),
+	// but it runs on a worker goroutine with the progress lock held, so it
+	// must not block — a slow callback stalls every worker.
 	Progress func(done, total int)
+	// Obs, if non-nil, receives run metrics: per-point evaluation latency
+	// (cqla_point_eval_seconds, labeled by sweep and engine) and
+	// evaluation-cache hits/misses (cqla_evalcache_{hits,misses}_total,
+	// labeled by sweep and kind). Instrument handles resolve once per Run;
+	// the per-point cost is one clock read and a few atomic adds, and nil
+	// disables everything at zero cost — sweep output is byte-identical
+	// either way.
+	Obs *obs.Registry
 }
 
 // Run walks the experiment's cartesian product across a worker pool and
@@ -95,7 +113,16 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 	// One evaluation cache per sweep: machines keyed on their resolved
 	// options, compiled workloads shared across every point and worker.
 	// Deterministic and byte-transparent — see evalCache.
-	cache := newEvalCache()
+	cache := newEvalCache(opt.Obs, exp.Name)
+
+	// Observability handles resolve once here; nil stays nil all the way
+	// down, so the disabled path costs a single pointer test per point.
+	var pointDur *obs.Histogram
+	if opt.Obs != nil {
+		pointDur = opt.Obs.HistogramVec("cqla_point_eval_seconds",
+			"Per-point evaluation latency of design-space sweeps.",
+			nil, "sweep", "engine").With(exp.Name, engine)
+	}
 
 	var (
 		wg       sync.WaitGroup
@@ -122,7 +149,23 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 					coords: exp.coordsAt(g.rep),
 					cache:  cache,
 				}
-				ms, err := exp.Eval(runCtx, in)
+				// Span + latency sample per unique point. With no tracer in
+				// ctx and a nil registry both lines below are no-ops that
+				// allocate nothing.
+				evalCtx, sp := obs.StartSpan(runCtx, "point")
+				if sp != nil {
+					sp.Annotate("sweep", exp.Name)
+					sp.Annotate("coords", keys[j])
+				}
+				var t0 time.Time
+				if pointDur != nil {
+					t0 = time.Now()
+				}
+				ms, err := exp.Eval(evalCtx, in)
+				if pointDur != nil {
+					pointDur.Observe(time.Since(t0).Seconds())
+				}
+				sp.End()
 				if err != nil {
 					mu.Lock()
 					// Prefer the root cause: a sibling evaluation collapsing

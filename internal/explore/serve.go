@@ -6,10 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/phys"
 )
 
@@ -35,24 +40,106 @@ import (
 // finished document; an async one returns 202 with a job id to poll.
 // Jobs run detached from the request context, so a disconnecting client
 // no longer wastes the computation: the result still lands in the cache.
+//
+// With WithObservability the server also exposes GET /metrics (Prometheus
+// text format backed by the same registry the job manager and sweep
+// runner write to), GET /v1/version reports the binary's build identity,
+// and WithPprof mounts net/http/pprof under /debug/pprof/. Every request
+// is access-logged through the WithLogger logger and counted in
+// cqla_http_requests_total / cqla_http_request_seconds, labeled by route
+// pattern — never by raw path, so cardinality stays bounded.
 type Server struct {
 	mux  *http.ServeMux
 	jobs *Manager
+	log  *slog.Logger
+
+	httpReqs *obs.CounterVec   // nil when observability is off
+	httpDur  *obs.HistogramVec // nil when observability is off
 }
 
 // NewServer returns the HTTP API with a fresh job manager.
 func NewServer(opts ...ManagerOption) *Server {
-	s := &Server{mux: http.NewServeMux(), jobs: NewManager(opts...)}
+	cfg := defaultManagerConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{mux: http.NewServeMux(), jobs: newManager(cfg), log: cfg.log}
 	s.mux.HandleFunc("GET /v1/sweeps", handleListSweeps)
 	s.mux.HandleFunc("POST /v1/sweeps/{op}", s.handleRunSweep)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleJobReport)
+	s.mux.HandleFunc("GET /v1/version", handleVersion)
+	s.mux.Handle("GET /metrics", cfg.obs.MetricsHandler())
+	if cfg.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if cfg.obs != nil {
+		s.httpReqs = cfg.obs.CounterVec("cqla_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code")
+		s.httpDur = cfg.obs.HistogramVec("cqla_http_request_seconds",
+			"HTTP request latency by route pattern.", nil, "route")
+	}
 	return s
 }
 
+// statusWriter records the response status for access logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	if sw.status == 0 {
+		sw.status = http.StatusOK // handler wrote nothing: implicit 200
+	}
+	// r.Pattern is the matched mux route ("POST /v1/sweeps/{op}"); an
+	// unmatched request keeps the label space finite under path scanning.
+	route := r.Pattern
+	if route == "" {
+		route = "unmatched"
+	}
+	if s.httpReqs != nil {
+		s.httpReqs.With(route, strconv.Itoa(sw.status)).Inc()
+		s.httpDur.With(route).Observe(elapsed.Seconds())
+	}
+	s.log.Info("http request",
+		"method", r.Method, "path", r.URL.Path, "route", route,
+		"status", sw.status, "dur_ms", float64(elapsed.Microseconds())/1000,
+		"remote", r.RemoteAddr)
+}
+
+// handleVersion reports the binary's build identity: module version, Go
+// toolchain, and the VCS revision stamped by `go build`.
+func handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		SchemaVersion int `json:"schema_version"`
+		obs.BuildInfo
+	}{SchemaVersion: arch.SchemaVersion, BuildInfo: obs.Build()})
+}
 
 // Shutdown stops accepting jobs and drains the in-flight ones; see
 // Manager.Shutdown.

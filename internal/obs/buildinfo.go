@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build identity of the running binary, read once from
+// the Go build metadata. It stamps BENCH.json documents and the
+// GET /v1/version endpoint so a measurement or a scraped metric is
+// attributable to the commit that produced it.
+type BuildInfo struct {
+	// Module is the main module path (e.g. "repro").
+	Module string `json:"module,omitempty"`
+	// Version is the main module version; "(devel)" for plain builds.
+	Version string `json:"version,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, when the build embedded one
+	// (builds from a git checkout do; `go test` binaries may not).
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the VCS commit timestamp (RFC 3339).
+	Time string `json:"vcs_time,omitempty"`
+	// Modified reports an unclean working tree at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identity. The read is memoized: the
+// underlying debug.ReadBuildInfo walks the binary once.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		buildInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

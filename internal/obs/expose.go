@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format this package writes.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus serializes every registered family in the Prometheus
+// text exposition format, families sorted by name and series by label
+// values, so the output is deterministic for a fixed metric state.
+// A nil registry writes nothing (an empty, valid exposition).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		entries := make([]*seriesEntry, len(keys))
+		for i, k := range keys {
+			entries[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		if len(entries) == 0 {
+			continue // a family no series ever resolved has nothing to say
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, e := range entries {
+			switch m := e.metric.(type) {
+			case *Counter:
+				writeSample(bw, f.name, f.labels, e.values, "", "", formatUint(m.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, f.labels, e.values, "", "", strconv.FormatInt(m.Value(), 10))
+			case *Histogram:
+				var cum uint64
+				for i := range m.counts {
+					cum += m.counts[i].Load()
+					le := "+Inf"
+					if i < len(m.upper) {
+						le = formatFloat(m.upper[i])
+					}
+					writeSample(bw, f.name+"_bucket", f.labels, e.values, "le", le, formatUint(cum))
+				}
+				writeSample(bw, f.name+"_sum", f.labels, e.values, "", "", formatFloat(m.Sum()))
+				writeSample(bw, f.name+"_count", f.labels, e.values, "", "", formatUint(cum))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MetricsHandler returns an http.Handler serving the registry in the
+// text exposition format — the body behind GET /metrics. A nil registry
+// serves an empty exposition, so wiring is unconditional.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one sample line: name{labels,extraK="extraV"} value.
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraK, extraV, val string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraK)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraV))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(val)
+	bw.WriteByte('\n')
+}
+
+// escapeLabel escapes a label value per the exposition grammar.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition grammar.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float sample the way Prometheus expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// populate builds a registry exercising every family type, label shapes
+// and escaping.
+func populate() *Registry {
+	r := NewRegistry()
+	r.Counter("jobs_total", "total jobs").Add(42)
+	v := r.CounterVec("cache_total", "cache outcomes", "result")
+	v.With("hit").Add(7)
+	v.With("miss").Add(3)
+	r.Gauge("queue_depth", "jobs waiting").Set(2)
+	h := r.HistogramVec("eval_seconds", "latency", []float64{0.1, 1}, "sweep")
+	hh := h.With("pareto")
+	hh.Observe(0.05)
+	hh.Observe(0.5)
+	hh.Observe(30)
+	r.CounterVec("weird_total", `help with \ and
+newline`, "label").With("quote\" back\\ nl\n").Inc()
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := populate().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"# HELP jobs_total total jobs\n# TYPE jobs_total counter\njobs_total 42\n",
+		`cache_total{result="hit"} 7`,
+		`cache_total{result="miss"} 3`,
+		"# TYPE queue_depth gauge\nqueue_depth 2\n",
+		`eval_seconds_bucket{sweep="pareto",le="0.1"} 1`,
+		`eval_seconds_bucket{sweep="pareto",le="1"} 2`,
+		`eval_seconds_bucket{sweep="pareto",le="+Inf"} 3`,
+		`eval_seconds_sum{sweep="pareto"} 30.55`,
+		`eval_seconds_count{sweep="pareto"} 3`,
+		`# HELP weird_total help with \\ and\nnewline`,
+		`weird_total{label="quote\" back\\ nl\n"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+	// Deterministic: a second serialization is byte-identical.
+	var sb2 strings.Builder
+	r := populate()
+	r.WritePrometheus(&sb2)
+	var sb3 strings.Builder
+	r.WritePrometheus(&sb3)
+	if sb2.String() != sb3.String() {
+		t.Error("exposition is not deterministic for a fixed state")
+	}
+}
+
+// TestExpositionRoundTrip is the acceptance pin: everything the writer
+// produces, the validating parser accepts and reads back exactly.
+func TestExpositionRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := populate().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse of our own exposition failed: %v\n%s", err, sb.String())
+	}
+	if f := fams["jobs_total"]; f == nil || f.Type != "counter" || f.Help != "total jobs" ||
+		len(f.Samples) != 1 || f.Samples[0].Value != 42 {
+		t.Errorf("jobs_total round-trip: %+v", fams["jobs_total"])
+	}
+	if f := fams["cache_total"]; f == nil || len(f.Samples) != 2 {
+		t.Fatalf("cache_total round-trip: %+v", fams["cache_total"])
+	} else {
+		byLabel := map[string]float64{}
+		for _, s := range f.Samples {
+			byLabel[s.Labels["result"]] = s.Value
+		}
+		if byLabel["hit"] != 7 || byLabel["miss"] != 3 {
+			t.Errorf("cache_total samples: %v", byLabel)
+		}
+	}
+	f := fams["eval_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("eval_seconds family: %+v", f)
+	}
+	var sum, count float64
+	infSeen := false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case "eval_seconds_sum":
+			sum = s.Value
+		case "eval_seconds_count":
+			count = s.Value
+		case "eval_seconds_bucket":
+			if s.Labels["le"] == "+Inf" {
+				infSeen = true
+				if !math.IsInf(mustLe(t, s), 1) {
+					t.Error("le=+Inf did not parse as +Inf")
+				}
+			}
+		}
+	}
+	if sum != 30.55 || count != 3 || !infSeen {
+		t.Errorf("histogram round-trip: sum=%g count=%g inf=%v", sum, count, infSeen)
+	}
+	// Escaped label values come back exactly.
+	w := fams["weird_total"]
+	if w == nil || len(w.Samples) != 1 || w.Samples[0].Labels["label"] != "quote\" back\\ nl\n" {
+		t.Errorf("escaped label round-trip: %+v", w)
+	}
+	if w.Help != "help with \\ and\nnewline" {
+		t.Errorf("escaped help round-trip: %q", w.Help)
+	}
+}
+
+func mustLe(t *testing.T, s Sample) float64 {
+	t.Helper()
+	v, err := parseValue(s.Labels["le"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := populate()
+	srv := httptest.NewServer(r.MetricsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ExpositionContentType {
+		t.Errorf("Content-Type = %q", got)
+	}
+	fams, err := ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Error("handler served no families")
+	}
+	// A nil registry serves an empty-but-valid exposition.
+	var nilReg *Registry
+	srv2 := httptest.NewServer(nilReg.MetricsHandler())
+	defer srv2.Close()
+	resp2, err := srv2.Client().Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	fams2, err := ParseExposition(resp2.Body)
+	if err != nil || len(fams2) != 0 {
+		t.Errorf("nil-registry handler: %d families, err %v", len(fams2), err)
+	}
+}
+
+func TestEmptyFamilyOmitted(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("never_resolved_total", "no series", "l") // no With call
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "never_resolved_total") {
+		t.Errorf("family with no series was exposed:\n%s", sb.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		1.5:              "1.5",
+		30.55:            "30.55",
+		math.Inf(1):      "+Inf",
+		math.Inf(-1):     "-Inf",
+		0.00025:          "0.00025",
+		1000000000000000: "1e+15",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a structured logger writing to w at the given level,
+// in logfmt-style text or JSON (`cqla serve -log-format`). It is the one
+// logger constructor the stack shares, so every subsystem logs the same
+// shape.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library components (the job manager, the HTTP API) whose callers did
+// not wire logging, so call sites never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// ParseLevel maps the CLI level names onto slog levels; unknown names
+// fall back to info.
+func ParseLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

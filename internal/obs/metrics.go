@@ -1,0 +1,419 @@
+// Package obs is the repository's zero-dependency observability layer:
+// a metrics registry (atomic counters, gauges and fixed-bucket latency
+// histograms, with label support) that serializes to the Prometheus text
+// exposition format, a lightweight span tracer exporting Chrome
+// trace_event JSON, structured-logging helpers over log/slog, and build
+// identity read once from the Go build info.
+//
+// Everything is designed around two regimes:
+//
+//   - Disabled (the default): a nil *Registry or *Tracer propagates nil
+//     through every constructor, and every mutating method on a nil
+//     handle is a no-op. Instrumented code needs no conditionals and the
+//     hot path costs a nil check — no allocations, no atomics, no locks.
+//   - Enabled: handle resolution (Registry.Counter, Vec.With) happens at
+//     setup time; the per-event operations (Counter.Add, Gauge.Set,
+//     Histogram.Observe) are single atomic updates with zero allocations,
+//     safe for concurrent use.
+//
+// `cqla serve` exposes a Registry at GET /metrics; `cqla sweep -trace`
+// exports a Tracer; ParseExposition validates scraped output.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType discriminates the exposition families.
+type metricType uint8
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// DefBuckets are the default latency buckets (seconds), matching the
+// Prometheus client default: they span sub-millisecond cache hits to
+// multi-second discrete-event sweeps.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry is a set of metric families. The zero value is not useful;
+// call NewRegistry. A nil *Registry is the disabled mode: every
+// constructor returns a nil handle whose methods are no-ops.
+//
+// Families are idempotent: registering the same (name, type, labels,
+// buckets) again returns the existing family, so independent subsystems
+// (the job manager, the sweep runner) can share one registry without
+// coordinating registration order. A name re-registered with a different
+// shape panics — that is a wiring bug, caught at startup.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty, ready-to-use registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one named metric across all its label combinations.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*seriesEntry // label-value key -> series
+}
+
+// seriesEntry pairs one label-value tuple with its metric instance
+// (*Counter, *Gauge or *Histogram). Keeping the values here — rather
+// than parsing them back out of the map key — makes exposition a plain
+// read, exact for any label value.
+type seriesEntry struct {
+	values []string
+	metric any
+}
+
+// validName matches the Prometheus metric-name grammar (without the
+// colon, which is reserved for recording rules).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the family, creating it on first use. Shape mismatches
+// panic: two call sites disagreeing on a metric's type or labels is a
+// bug no amount of runtime handling fixes.
+func (r *Registry) lookup(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: metric %q has invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*seriesEntry),
+	}
+	r.fams[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// with returns the series metric for the label values, creating it with
+// mk on first use. The key joins escaped values with \x1f so distinct
+// value tuples always map to distinct keys.
+func (f *family) with(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := joinKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s.metric
+	}
+	s := &seriesEntry{values: append([]string(nil), values...), metric: mk()}
+	f.series[key] = s
+	return s.metric
+}
+
+func joinKey(values []string) string {
+	var b strings.Builder
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(strings.ReplaceAll(strings.ReplaceAll(v, `\`, `\\`), "\x1f", `\u`))
+	}
+	return b.String()
+}
+
+// Counter is a monotonically increasing count. The nil Counter ignores
+// every operation, so disabled instrumentation needs no branches.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down: queue depths, in-flight
+// counts. The nil Gauge ignores every operation.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution: per-bucket atomic counts
+// plus a CAS-maintained float64 sum. Observe is allocation-free and safe
+// for concurrent use; the nil Histogram ignores every operation.
+type Histogram struct {
+	upper  []float64       // ascending upper bounds; an implicit +Inf follows
+	counts []atomic.Uint64 // len(upper)+1, non-cumulative
+	sum    atomic.Uint64   // float64 bits
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		upper:  buckets,
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one measurement.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket lists are ~a dozen entries, and the scan has no
+	// bounds-check or closure overhead a binary search would add.
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// CounterVec is a counter family over label values.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a gauge family over label values.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a histogram family over label values.
+type HistogramVec struct{ f *family }
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers (or finds) a counter family with the given label
+// names. Resolve concrete series with With at setup time, not per event.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookup(name, help, counterType, labels, nil)}
+}
+
+// With returns the counter for the label values, creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.with(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers (or finds) a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookup(name, help, gaugeType, labels, nil)}
+}
+
+// With returns the gauge for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.with(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram registers (or finds) an unlabeled histogram. A nil buckets
+// slice selects DefBuckets; bounds must be ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec registers (or finds) a histogram family. A nil buckets
+// slice selects DefBuckets; bounds must be ascending.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: metric %q buckets are not ascending", name))
+		}
+	}
+	return &HistogramVec{f: r.lookup(name, help, histogramType, labels, buckets)}
+}
+
+// With returns the histogram for the label values, creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	f := v.f
+	return f.with(values, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// families returns a name-sorted snapshot of the registered families,
+// for deterministic exposition.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same series.
+	if again := r.Counter("test_total", "a counter"); again.Value() != 5 {
+		t.Errorf("re-registered counter = %d, want the same series (5)", again.Value())
+	}
+
+	g := r.Gauge("test_depth", "a gauge")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %g, want 106", got)
+	}
+	// Bucket occupancy: le=1 gets {0.5, 1}, le=2 gets {1.5}, le=4 gets
+	// {3}, +Inf gets {100}.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("test_by_sweep_total", "labeled", "sweep", "engine")
+	vec.With("pareto", "analytic").Add(3)
+	vec.With("pareto", "des").Inc()
+	if got := vec.With("pareto", "analytic").Value(); got != 3 {
+		t.Errorf("series = %d, want 3", got)
+	}
+	if got := vec.With("pareto", "des").Value(); got != 1 {
+		t.Errorf("series = %d, want 1", got)
+	}
+	// Distinct tuples that would collide under naive joining stay distinct.
+	a := vec.With("a\x1fb", "c")
+	b := vec.With("a", "b\x1fc")
+	a.Add(10)
+	if got := b.Value(); got != 0 {
+		t.Errorf("label tuples collided: %d", got)
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(3)
+	if c != nil || c.Value() != 0 {
+		t.Error("nil registry produced a live counter")
+	}
+	g := r.GaugeVec("x", "", "l").With("v")
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Error("nil gauge stored a value")
+	}
+	h := r.HistogramVec("x_seconds", "", nil, "l").With("v")
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram observed")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil registry exposition: %q, %v", sb.String(), err)
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("alloc_total", "", "l").With("v")
+	g := r.Gauge("alloc_depth", "")
+	h := r.Histogram("alloc_seconds", "", nil)
+	var nilC *Counter
+	var nilH *Histogram
+	cases := map[string]func(){
+		"Counter.Add":       func() { c.Add(1) },
+		"Gauge.Set":         func() { g.Set(3) },
+		"Histogram.Observe": func() { h.Observe(0.42) },
+		"nil Counter.Inc":   func() { nilC.Inc() },
+		"nil Hist.Observe":  func() { nilH.Observe(1) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", []float64{0.5})
+	vec := r.GaugeVec("conc_depth", "", "worker")
+	var wg sync.WaitGroup
+	const workers, each = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := vec.With(string(rune('a' + w)))
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(1)
+				g.Set(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Errorf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := h.Sum(); got != workers*each {
+		t.Errorf("histogram sum = %g, want %d", got, workers*each)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	cases := map[string]func(){
+		"type mismatch":   func() { r.Gauge("dup_total", "") },
+		"label mismatch":  func() { r.CounterVec("dup_total", "", "l") },
+		"bad name":        func() { r.Counter("bad-name", "") },
+		"empty name":      func() { r.Counter("", "") },
+		"digit first":     func() { r.Counter("0abc", "") },
+		"bad label":       func() { r.CounterVec("ok_total", "", "0l") },
+		"bad buckets":     func() { r.Histogram("h_seconds", "", []float64{2, 1}) },
+		"cardinality":     func() { r.CounterVec("card_total", "", "a").With("x", "y") },
+		"bucket mismatch": func() { r.Histogram("hb_seconds", "", []float64{1}); r.Histogram("hb_seconds", "", []float64{2}) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "warn": "WARN",
+		"error": "ERROR", "bogus": "INFO",
+	} {
+		if got := ParseLevel(in).String(); got != want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	// Must not panic and must not write anywhere observable.
+	NopLogger().Info("dropped", "k", "v")
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var text, js strings.Builder
+	NewLogger(&text, ParseLevel("info"), false).Info("hello", "k", "v")
+	NewLogger(&js, ParseLevel("info"), true).Info("hello", "k", "v")
+	if !strings.Contains(text.String(), "msg=hello") {
+		t.Errorf("text log: %q", text.String())
+	}
+	if !strings.Contains(js.String(), `"msg":"hello"`) {
+		t.Errorf("json log: %q", js.String())
+	}
+	var quiet strings.Builder
+	NewLogger(&quiet, ParseLevel("error"), false).Info("dropped")
+	if quiet.Len() != 0 {
+		t.Errorf("level filter leaked: %q", quiet.String())
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" {
+		t.Error("BuildInfo.GoVersion is empty; debug.ReadBuildInfo should always report the toolchain")
+	}
+	if b.Module == "" {
+		t.Error("BuildInfo.Module is empty in a module-mode test binary")
+	}
+	// Memoized: identical on the second read.
+	if b2 := Build(); b2 != b {
+		t.Errorf("Build() not stable: %+v vs %+v", b, b2)
+	}
+}
+
+func TestSpanTimingMonotonic(t *testing.T) {
+	tr := NewTracer()
+	_, s := StartSpan(WithTracer(t.Context(), tr), "work")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() < 2*time.Millisecond {
+		t.Errorf("span duration %v, want >= 2ms", s.Duration())
+	}
+	d := s.Duration()
+	s.End() // second End keeps the first duration
+	if s.Duration() != d {
+		t.Error("double End changed the duration")
+	}
+}

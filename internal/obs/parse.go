@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is a validating parser for the Prometheus text exposition
+// format (version 0.0.4) — the consumer side of WritePrometheus. It
+// exists so tests and the CI smoke-scrape can assert that what
+// GET /metrics serves is not merely non-empty but well-formed: TYPE
+// lines precede their samples, sample names belong to their family,
+// values parse, histogram buckets are cumulative and end at le="+Inf"
+// with a matching _count.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// histogram suffix.
+	Name string
+	// Labels holds the sample's label pairs (including "le").
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Family is one parsed metric family: its metadata and samples in file
+// order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// ParseExposition parses and validates a text exposition. It returns the
+// families keyed by name, or the first format error with its line number.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			f := fams[name]
+			if f == nil {
+				f = &Family{Name: name, Type: "untyped"}
+				fams[name] = f
+			}
+			if fields[1] == "HELP" {
+				if len(fields) == 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+				cur = f
+				continue
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("line %d: TYPE without a type", lineno)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineno, fields[3])
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineno, name)
+			}
+			f.Type = fields[3]
+			cur = f
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		fam := familyFor(fams, cur, s.Name)
+		if fam == nil {
+			// A bare sample with no preceding metadata: untyped family.
+			fam = &Family{Name: s.Name, Type: "untyped"}
+			fams[s.Name] = fam
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves which family a sample line belongs to: the current
+// family when the name matches it (histogram suffixes included),
+// otherwise an exact-name family if one was declared. A nil return means
+// the sample introduces a new untyped family.
+func familyFor(fams map[string]*Family, cur *Family, name string) *Family {
+	if cur != nil && nameBelongs(cur, name) {
+		return cur
+	}
+	return fams[name]
+}
+
+func nameBelongs(f *Family, sample string) bool {
+	if sample == f.Name {
+		return true
+	}
+	if f.Type != "histogram" && f.Type != "summary" {
+		return false
+	}
+	rest, ok := strings.CutPrefix(sample, f.Name)
+	if !ok {
+		return false
+	}
+	return rest == "_bucket" || rest == "_sum" || rest == "_count"
+}
+
+// parseSample parses one sample line: name[{labels}] value [timestamp].
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want 'value [timestamp]' after %q, got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at in[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(in string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(in) && (in[i] == ' ' || in[i] == ',') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(in) && in[i] != '=' {
+			i++
+		}
+		if i == len(in) {
+			return 0, fmt.Errorf("unterminated label block %q", in)
+		}
+		name := in[start:i]
+		if !validName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(in) || in[i] != '"' {
+			return 0, fmt.Errorf("label %s: want quoted value", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case 'n':
+					b.WriteByte('\n')
+				case '"':
+					b.WriteByte('"')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", name, in[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	// strconv.ParseFloat accepts "+Inf", "-Inf" and "NaN" directly.
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// validateHistogram checks the histogram sample contract per label set:
+// cumulative non-decreasing buckets, a final le="+Inf" bucket, and a
+// _count equal to it.
+func validateHistogram(f *Family) error {
+	type state struct {
+		last     float64
+		haveInf  bool
+		infCount float64
+		count    float64
+		haveCnt  bool
+	}
+	states := map[string]*state{}
+	get := func(s Sample) *state {
+		key := labelKeyWithout(s.Labels, "le")
+		st := states[key]
+		if st == nil {
+			st = &state{}
+			states[key] = st
+		}
+		return st
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			st := get(s)
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket sample without le label", f.Name)
+			}
+			if s.Value < st.last {
+				return fmt.Errorf("%s{le=%q}: cumulative bucket count decreased", f.Name, le)
+			}
+			st.last = s.Value
+			if le == "+Inf" {
+				st.haveInf = true
+				st.infCount = s.Value
+			}
+		case f.Name + "_count":
+			st := get(s)
+			st.haveCnt = true
+			st.count = s.Value
+		}
+	}
+	for _, st := range states {
+		if !st.haveInf {
+			return fmt.Errorf("%s: histogram without le=\"+Inf\" bucket", f.Name)
+		}
+		if st.haveCnt && st.count != st.infCount {
+			return fmt.Errorf("%s: _count %g != +Inf bucket %g", f.Name, st.count, st.infCount)
+		}
+	}
+	return nil
+}
+
+// labelKeyWithout renders the label set minus one key, for grouping a
+// histogram's samples by series.
+func labelKeyWithout(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+func unescapeHelp(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	return strings.ReplaceAll(v, `\\`, `\`)
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans against one monotonic clock (the
+// tracer's creation instant), cheap enough to leave wired into the
+// evaluation stack: a disabled (nil) tracer costs a context lookup per
+// StartSpan and allocates nothing. WriteChromeTrace exports the recorded
+// spans as Chrome trace_event JSON for chrome://tracing / Perfetto —
+// `cqla sweep -trace out.json` is the CLI surface.
+//
+// Spans form lanes for display: a root span opens a new lane (Chrome
+// "tid"); children inherit their parent's lane, so concurrent sweep
+// points render as parallel rows with their compile/run stages nested
+// inside.
+type Tracer struct {
+	epoch time.Time // monotonic reference; all span times are offsets
+
+	mu    sync.Mutex
+	spans []*Span
+	lanes int
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one recorded operation. Start/End pairs are explicit; a span
+// is not safe for concurrent mutation, but distinct spans of one tracer
+// are. Methods on a nil span are no-ops, so instrumented code never
+// branches on whether tracing is enabled.
+type Span struct {
+	t      *Tracer
+	name   string
+	id     int
+	parent int // span id, -1 for roots
+	lane   int
+	start  time.Duration
+	dur    time.Duration // 0 until End
+	ended  bool
+	attrs  []spanAttr
+}
+
+type spanAttr struct{ k, v string }
+
+// start records a new span; parent may be nil for a root.
+func (t *Tracer) start(name string, parent *Span) *Span {
+	s := &Span{t: t, name: name, parent: -1, start: time.Since(t.epoch)}
+	t.mu.Lock()
+	s.id = len(t.spans)
+	if parent != nil {
+		s.parent = parent.id
+		s.lane = parent.lane
+	} else {
+		s.lane = t.lanes
+		t.lanes++
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span at the tracer's current clock. Ending a span twice
+// keeps the first duration.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.t.epoch) - s.start
+}
+
+// Annotate attaches a key/value pair carried into the exported args.
+func (s *Span) Annotate(k, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, spanAttr{k, v})
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration (0 on nil or an unended span).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// ctxKey discriminates the context values this package stores.
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// WithTracer returns a context carrying the tracer; StartSpan below it
+// records spans. A nil tracer returns ctx unchanged, keeping the
+// disabled path allocation-free.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span under the context's current span (or as a new
+// root lane) and returns a context carrying it for child spans. Without
+// a tracer in ctx it returns (ctx, nil) at zero cost beyond the lookup —
+// and the nil span's End/Annotate are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	var t *Tracer
+	if parent != nil {
+		t = parent.t
+	} else {
+		t = TracerFrom(ctx)
+	}
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.start(name, parent)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a snapshot of the recorded spans in start order. The
+// returned spans are shared; read-only.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// chromeEvent is one trace_event record ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds since epoch
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded spans as a Chrome trace_event
+// JSON array (the format chrome://tracing and Perfetto load directly).
+// Spans never ended are exported with their duration up to now. Call
+// after the traced work has completed — export takes the tracer lock but
+// does not synchronize with spans still being mutated.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[")
+	if t != nil {
+		now := time.Since(t.epoch)
+		for i, s := range t.Spans() {
+			dur := s.dur
+			if !s.ended {
+				dur = now - s.start
+			}
+			ev := chromeEvent{
+				Name: s.name,
+				Cat:  "cqla",
+				Ph:   "X",
+				Ts:   float64(s.start) / float64(time.Microsecond),
+				Dur:  float64(dur) / float64(time.Microsecond),
+				Pid:  1,
+				Tid:  s.lane,
+			}
+			if len(s.attrs) > 0 || s.parent >= 0 {
+				ev.Args = make(map[string]string, len(s.attrs)+2)
+				for _, a := range s.attrs {
+					ev.Args[a.k] = a.v
+				}
+				if s.parent >= 0 {
+					ev.Args["parent_span"] = strconv.Itoa(s.parent)
+				}
+				ev.Args["span_id"] = strconv.Itoa(s.id)
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return err
+			}
+			if i > 0 {
+				bw.WriteString(",\n ")
+			}
+			bw.Write(b)
+		}
+	}
+	bw.WriteString("]\n")
+	return bw.Flush()
+}

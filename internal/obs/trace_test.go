@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeAndLanes(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx1, root1 := StartSpan(ctx, "sweep")
+	_, child := StartSpan(ctx1, "point")
+	child.Annotate("coords", "64")
+	child.End()
+	root1.End()
+	_, root2 := StartSpan(ctx, "other")
+	root2.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 || tr.Len() != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	if spans[0].Name() != "sweep" || spans[1].Name() != "point" || spans[2].Name() != "other" {
+		t.Errorf("span order: %s, %s, %s", spans[0].Name(), spans[1].Name(), spans[2].Name())
+	}
+	if spans[1].parent != spans[0].id {
+		t.Errorf("child parent = %d, want %d", spans[1].parent, spans[0].id)
+	}
+	if spans[1].lane != spans[0].lane {
+		t.Error("child did not inherit its parent's lane")
+	}
+	if spans[2].lane == spans[0].lane {
+		t.Error("second root shares the first root's lane")
+	}
+	if spans[2].parent != -1 {
+		t.Errorf("root parent = %d, want -1", spans[2].parent)
+	}
+}
+
+func TestStartSpanWithoutTracer(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "ignored")
+	if s != nil || ctx2 != ctx {
+		t.Error("StartSpan without a tracer must return (ctx, nil)")
+	}
+	s.End()
+	s.Annotate("k", "v")
+	if s.Name() != "" || s.Duration() != 0 {
+		t.Error("nil span accessors must return zero values")
+	}
+	if TracerFrom(ctx) != nil {
+		t.Error("TracerFrom on a bare context")
+	}
+	if WithTracer(ctx, nil) != ctx {
+		t.Error("WithTracer(nil) must return ctx unchanged")
+	}
+	var nilT *Tracer
+	if nilT.Len() != 0 || nilT.Spans() != nil {
+		t.Error("nil tracer accessors")
+	}
+}
+
+func TestStartSpanNoTracerAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(200, func() {
+		ctx2, s := StartSpan(ctx, "x")
+		s.End()
+		_ = ctx2
+	}); allocs != 0 {
+		t.Errorf("disabled StartSpan allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := StartSpan(ctx, "sweep")
+	_, child := StartSpan(ctx1, "point")
+	child.Annotate("coords", "n=64")
+	child.End()
+	root.End()
+	_, unended := StartSpan(ctx, "dangling")
+	_ = unended // deliberately never ended
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	for _, ev := range events {
+		if ev.Ph != "X" || ev.Pid != 1 {
+			t.Errorf("event %q: ph=%q pid=%d", ev.Name, ev.Ph, ev.Pid)
+		}
+		if ev.Dur < 0 || ev.Ts < 0 {
+			t.Errorf("event %q: negative time ts=%g dur=%g", ev.Name, ev.Ts, ev.Dur)
+		}
+	}
+	if events[1].Args["coords"] != "n=64" {
+		t.Errorf("child args: %v", events[1].Args)
+	}
+	if events[1].Args["parent_span"] != "0" {
+		t.Errorf("child parent_span: %v", events[1].Args)
+	}
+	if events[0].Tid != events[1].Tid {
+		t.Error("child rendered on a different lane than its parent")
+	}
+
+	// A nil tracer writes an empty, valid JSON array.
+	var nilT *Tracer
+	var empty strings.Builder
+	if err := nilT.WriteChromeTrace(&empty); err != nil {
+		t.Fatal(err)
+	}
+	var nothing []any
+	if err := json.Unmarshal([]byte(empty.String()), &nothing); err != nil || len(nothing) != 0 {
+		t.Errorf("nil tracer trace: %q (%v)", empty.String(), err)
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx1, root := StartSpan(ctx, "worker")
+			_, inner := StartSpan(ctx1, "stage")
+			inner.End()
+			root.End()
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 2*n {
+		t.Errorf("recorded %d spans, want %d", got, 2*n)
+	}
+	// Every span got a unique id and children inherited lanes.
+	seen := map[int]bool{}
+	for _, s := range tr.Spans() {
+		if seen[s.id] {
+			t.Fatalf("duplicate span id %d", s.id)
+		}
+		seen[s.id] = true
+	}
+}

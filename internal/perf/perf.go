@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SchemaVersion identifies the BENCH.json layout. Bump it on any change
@@ -102,16 +104,25 @@ type Result struct {
 
 // Report is the BENCH.json document.
 type Report struct {
-	SchemaVersion int       `json:"schema_version"`
-	GoVersion     string    `json:"go_version"`
-	GOOS          string    `json:"goos"`
-	GOARCH        string    `json:"goarch"`
-	NumCPU        int       `json:"num_cpu"`
-	GOMAXPROCS    int       `json:"gomaxprocs"`
-	Host          string    `json:"host,omitempty"`
-	StartedAt     time.Time `json:"started_at"`
-	WallTimeS     float64   `json:"wall_time_s"`
-	Benchmarks    []Result  `json:"benchmarks"`
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Host          string `json:"host,omitempty"`
+	// Build identity: which bits produced these numbers. Module is the
+	// main module path, ModVersion its version (or "(devel)"), VCSRevision
+	// and VCSTime the stamped commit, VCSModified whether the working tree
+	// was dirty — a dirty-tree BENCH.json is not a comparable baseline.
+	Module      string    `json:"module,omitempty"`
+	ModVersion  string    `json:"mod_version,omitempty"`
+	VCSRevision string    `json:"vcs_revision,omitempty"`
+	VCSTime     string    `json:"vcs_time,omitempty"`
+	VCSModified bool      `json:"vcs_modified,omitempty"`
+	StartedAt   time.Time `json:"started_at"`
+	WallTimeS   float64   `json:"wall_time_s"`
+	Benchmarks  []Result  `json:"benchmarks"`
 }
 
 // DefaultBenchTime is the per-benchmark time budget when Options leaves
@@ -171,6 +182,7 @@ func RunBenchmarks(bms []Benchmark, opt Options) (*Report, error) {
 
 func newReport() *Report {
 	host, _ := os.Hostname()
+	bi := obs.Build()
 	return &Report{
 		SchemaVersion: SchemaVersion,
 		GoVersion:     runtime.Version(),
@@ -179,6 +191,11 @@ func newReport() *Report {
 		NumCPU:        runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Host:          host,
+		Module:        bi.Module,
+		ModVersion:    bi.Version,
+		VCSRevision:   bi.Revision,
+		VCSTime:       bi.Time,
+		VCSModified:   bi.Modified,
 		StartedAt:     time.Now().UTC(),
 	}
 }
