@@ -1,0 +1,60 @@
+// Command cqlalint runs the repository's static-analysis suite
+// (internal/lint) over the named package patterns and reports findings as
+// `file:line: [rule] message`. It exits 0 when the tree is clean, 1 when
+// any finding remains, and 2 on a load failure.
+//
+// Usage:
+//
+//	cqlalint [-list] [packages]
+//
+// With no patterns it analyzes ./... . Suppress an individual finding
+// with a `//lint:ignore-cqla <rule> <reason>` comment on the same line or
+// the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cqlalint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(lint.DefaultConfig(), pkgs)
+	for _, f := range findings {
+		fmt.Println(f.StringRelative(cwd))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cqlalint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

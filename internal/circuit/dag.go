@@ -39,6 +39,8 @@ func BuildDAG(c *Circuit) *DAG {
 // when its capacity suffices, and returns d. A DAG rebuilt over circuits of
 // non-increasing size allocates nothing, which makes repeated compilation
 // (one DAG per worker, many circuits) free of per-build garbage.
+//
+//cqla:noalloc
 func BuildDAGInto(d *DAG, c *Circuit) *DAG {
 	n := c.Len()
 	nq := c.NumQubits()
@@ -46,6 +48,7 @@ func BuildDAGInto(d *DAG, c *Circuit) *DAG {
 	d.depth = 0
 
 	if cap(d.scratch) < nq {
+		//lint:ignore-cqla noalloc arena growth on first build or a larger circuit; steady-state rebuilds reuse capacity
 		d.scratch = make([]int, nq)
 	}
 	last := d.scratch[:nq]
@@ -60,7 +63,7 @@ func BuildDAGInto(d *DAG, c *Circuit) *DAG {
 	edges := 0
 	instrs := c.Instrs()
 	for i := range instrs {
-		var d0, d1 int = -1, -1
+		d0, d1 := -1, -1
 		for _, q := range instrs[i].Operands() {
 			if p := last[q]; p >= 0 && p != d0 && p != d1 {
 				if d0 < 0 {
@@ -78,6 +81,7 @@ func BuildDAGInto(d *DAG, c *Circuit) *DAG {
 	// two offset tables and the ASAP schedule.
 	need := 2*edges + 2*(n+1) + n
 	if cap(d.arena) < need {
+		//lint:ignore-cqla noalloc arena growth on first build or a larger circuit; steady-state rebuilds reuse capacity
 		d.arena = make([]int, need)
 	}
 	a := d.arena[:need]

@@ -176,6 +176,7 @@ func (r *residency) unpin(q int) { r.pins[q]-- }
 // Run simulates the circuit on the configured machine and returns the
 // measured statistics. All qubits start in memory.
 func Run(c *circuit.Circuit, cfg Config) (Stats, error) {
+	//lint:ignore-cqla ctxflow Run is the uncancellable convenience API; callers needing teardown use RunContext
 	return RunContext(context.Background(), c, cfg)
 }
 

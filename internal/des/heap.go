@@ -20,6 +20,7 @@ func newMinHeap[T any](capacity int, less func(a, b T) bool) *minHeap[T] {
 
 func (h *minHeap[T]) len() int { return len(h.a) }
 
+//cqla:noalloc
 func (h *minHeap[T]) push(v T) {
 	h.a = append(h.a, v)
 	i := len(h.a) - 1
@@ -33,6 +34,7 @@ func (h *minHeap[T]) push(v T) {
 	}
 }
 
+//cqla:noalloc
 func (h *minHeap[T]) pop() T {
 	top := h.a[0]
 	last := len(h.a) - 1
@@ -74,6 +76,7 @@ func newIntQueue(capacity int) *intQueue {
 
 func (q *intQueue) len() int { return len(q.buf) - q.head }
 
+//cqla:noalloc
 func (q *intQueue) push(v int) {
 	if q.head == len(q.buf) {
 		q.buf, q.head = q.buf[:0], 0
@@ -84,6 +87,7 @@ func (q *intQueue) push(v int) {
 	q.buf = append(q.buf, v)
 }
 
+//cqla:noalloc
 func (q *intQueue) pop() int {
 	v := q.buf[q.head]
 	q.head++

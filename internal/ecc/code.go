@@ -77,6 +77,8 @@ func newBitDecoder(h *gf2.Matrix, lookup map[uint64]gf2.Vec, logical gf2.Vec) bi
 }
 
 // syndromeBits computes the packed syndrome of the error mask e.
+//
+//cqla:noalloc
 func (d *bitDecoder) syndromeBits(e uint64) uint64 {
 	var s uint64
 	for i, r := range d.rows {
@@ -88,6 +90,8 @@ func (d *bitDecoder) syndromeBits(e uint64) uint64 {
 // correct decodes the error mask e and returns the residual after applying
 // the minimum-weight correction, plus whether that residual is a logical
 // fault. It is the packed equivalent of Code.CorrectX/CorrectZ.
+//
+//cqla:noalloc
 func (d *bitDecoder) correct(e uint64) (residual uint64, logicalFault bool) {
 	r := e ^ d.table[d.syndromeBits(e)]
 	return r, bits.OnesCount64(r&d.logical)&1 == 1
@@ -95,6 +99,8 @@ func (d *bitDecoder) correct(e uint64) (residual uint64, logicalFault bool) {
 
 // fault decodes the error mask e and reports whether the residual after
 // applying the minimum-weight correction is a logical fault.
+//
+//cqla:noalloc
 func (d *bitDecoder) fault(e uint64) bool {
 	_, f := d.correct(e)
 	return f
@@ -338,24 +344,32 @@ func buildLookup(h *gf2.Matrix) map[uint64]gf2.Vec {
 // rather than silently truncating.
 
 // SyndromeX returns the syndrome of an X-error support vector.
+//
+//cqla:noalloc
 func (c *Code) SyndromeX(e gf2.Vec) gf2.Vec {
 	m, n := c.syndromeXPacked(e)
 	return gf2.RawWord(n, m)
 }
 
 // SyndromeZ returns the syndrome of a Z-error support vector.
+//
+//cqla:noalloc
 func (c *Code) SyndromeZ(e gf2.Vec) gf2.Vec {
 	m, n := c.syndromeZPacked(e)
 	return gf2.RawWord(n, m)
 }
 
 // DecodeX returns the minimum-weight X correction for a Z-syndrome.
+//
+//cqla:noalloc
 func (c *Code) DecodeX(syndrome gf2.Vec) gf2.Vec {
 	m, n := c.decodeXPacked(syndrome)
 	return gf2.RawWord(n, m)
 }
 
 // DecodeZ returns the minimum-weight Z correction for an X-syndrome.
+//
+//cqla:noalloc
 func (c *Code) DecodeZ(syndrome gf2.Vec) gf2.Vec {
 	m, n := c.decodeZPacked(syndrome)
 	return gf2.RawWord(n, m)
@@ -364,12 +378,16 @@ func (c *Code) DecodeZ(syndrome gf2.Vec) gf2.Vec {
 // CorrectX applies decoding to an X-error vector and reports whether the
 // residual error is a logical fault (anticommutes with the Z-type logical
 // operator).
+//
+//cqla:noalloc
 func (c *Code) CorrectX(e gf2.Vec) (residual gf2.Vec, logicalFault bool) {
 	m, fault := c.correctXPacked(e)
 	return gf2.RawWord(c.N, m), fault
 }
 
 // CorrectZ is CorrectX for phase-flip errors.
+//
+//cqla:noalloc
 func (c *Code) CorrectZ(e gf2.Vec) (residual gf2.Vec, logicalFault bool) {
 	m, fault := c.correctZPacked(e)
 	return gf2.RawWord(c.N, m), fault

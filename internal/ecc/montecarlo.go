@@ -86,6 +86,8 @@ func (c *Code) monteCarlo(p float64, trials int, rng *rand.Rand, d *bitDecoder) 
 // and returns the logical-fault count. It is the Monte Carlo inner loop:
 // error masks are built bit by bit (one Float64 per qubit, preserving the
 // historical stream consumption) and decoded without allocating.
+//
+//cqla:noalloc
 func (d *bitDecoder) sample(n int, p float64, trials int, rng *rand.Rand) int {
 	faults := 0
 	for t := 0; t < trials; t++ {

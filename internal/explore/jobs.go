@@ -154,7 +154,7 @@ func (j *Job) Document() ([]byte, error) {
 func (m *Manager) markRunning(j *Job) {
 	j.mu.Lock()
 	j.state = JobRunning
-	j.started = time.Now()
+	j.started = obs.Now()
 	wait := j.started.Sub(j.created)
 	j.mu.Unlock()
 	m.met.queued.Dec()
@@ -318,6 +318,10 @@ func NewManager(opts ...ManagerOption) *Manager {
 }
 
 func newManager(cfg managerConfig) *Manager {
+	// Jobs outlive the requests that submit them: the async lifecycle's
+	// whole point is that a client can disconnect and poll later, so the
+	// manager roots its own context and cancels it on Shutdown.
+	//lint:ignore-cqla ctxflow jobs run detached from request contexts by design; Shutdown cancels this root
 	ctx, cancel := context.WithCancel(context.Background())
 	if cfg.log == nil {
 		cfg.log = obs.NopLogger()
@@ -395,7 +399,7 @@ func (m *Manager) newJobLocked(spec JobSpec, key string, total int) *Job {
 		Spec:     spec,
 		Key:      key,
 		finished: make(chan struct{}),
-		created:  time.Now(),
+		created:  obs.Now(),
 		state:    JobQueued,
 		total:    total,
 	}
@@ -445,7 +449,7 @@ func (m *Manager) finish(j *Job, doc []byte, err error) {
 	prev := j.state
 	var ran time.Duration
 	if prev == JobRunning {
-		ran = time.Since(j.started)
+		ran = obs.Since(j.started)
 	}
 	if err != nil {
 		j.state = JobFailed

@@ -159,11 +159,11 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 				}
 				var t0 time.Time
 				if pointDur != nil {
-					t0 = time.Now()
+					t0 = obs.Now()
 				}
 				ms, err := exp.Eval(evalCtx, in)
 				if pointDur != nil {
-					pointDur.Observe(time.Since(t0).Seconds())
+					pointDur.Observe(obs.Since(t0).Seconds())
 				}
 				sp.End()
 				if err != nil {

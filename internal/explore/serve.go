@@ -11,7 +11,6 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/arch"
 	"repro/internal/obs"
@@ -110,9 +109,9 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w}
-	start := time.Now()
+	start := obs.Now()
 	s.mux.ServeHTTP(sw, r)
-	elapsed := time.Since(start)
+	elapsed := obs.Since(start)
 	if sw.status == 0 {
 		sw.status = http.StatusOK // handler wrote nothing: implicit 200
 	}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgCall resolves a call through a package selector (`pkg.Fn(...)`) to
+// the imported package path and function name. ok is false for method
+// calls, locals, conversions and builtins.
+func pkgCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	ident, okIdent := sel.X.(*ast.Ident)
+	if !okIdent {
+		return "", "", false
+	}
+	pkgName, okPkg := info.Uses[ident].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// builtinCall reports whether the call invokes the named predeclared
+// builtin (append, make, new, panic, ...).
+func builtinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	b, ok := info.Uses[ident].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// calleeSignature returns the signature of a call's target, or nil for
+// builtins and type conversions.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// namedIn unwraps pointers and reports the named type and whether it is
+// declared in the package with the given import path.
+func namedIn(t types.Type, pkgPath string) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, false
+	}
+	return named, named.Obj().Pkg().Path() == pkgPath
+}
+
+// identObj resolves an identifier to its object through uses then defs.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}

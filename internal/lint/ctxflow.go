@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxFlow enforces context discipline in library (internal/...) code:
+//
+//   - context.Background() and context.TODO() are forbidden — library
+//     code accepts a context from its caller. Minting a fresh root
+//     context severs cancellation: the PR 3 runner-error masking bug was
+//     exactly a context seam nobody could see. (Deliberate detachment —
+//     the job manager's request-independent lifecycle — documents itself
+//     with a suppression.)
+//   - A nil context must never be passed where a callee expects one:
+//     ctx.Value / ctx.Done on it panic far from the call site.
+//   - A function that takes a context must thread it: a context
+//     parameter that is never mentioned while the body calls
+//     context-accepting callees means those callees run detached from
+//     the caller's cancellation, silently.
+var ctxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library code accepts contexts from callers, never passes nil contexts, and threads received contexts to context-accepting callees",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if !ctxScoped(p.Cfg, p.Pkg.Path) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name, ok := pkgCall(p.Pkg.Info, call); ok && path == "context" && (name == "Background" || name == "TODO") {
+				p.Reportf(call.Pos(), "context.%s in library code severs cancellation; accept a context from the caller", name)
+			}
+			checkNilContextArg(p, call)
+			return true
+		})
+	}
+	for _, fn := range funcDecls(p.Pkg) {
+		checkContextThreading(p, fn)
+	}
+}
+
+func ctxScoped(cfg Config, path string) bool {
+	if cfg.CtxExempt[path] {
+		return false
+	}
+	for _, prefix := range cfg.CtxPrefixes {
+		if strings.HasPrefix(path, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNilContextArg flags literal nil passed for a context parameter.
+func checkNilContextArg(p *Pass, call *ast.CallExpr) {
+	sig := calleeSignature(p.Pkg.Info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if !isNilIdent(arg) {
+			continue
+		}
+		if isContextType(paramTypeAt(sig, i)) {
+			p.Reportf(arg.Pos(), "nil passed for a context.Context parameter; pass the caller's context")
+		}
+	}
+}
+
+// paramTypeAt returns the type of parameter position i, unwrapping the
+// variadic tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// checkContextThreading flags a function whose context parameter is never
+// used while its body calls context-accepting callees.
+func checkContextThreading(p *Pass, fn *ast.FuncDecl) {
+	if fn.Type.Params == nil {
+		return
+	}
+	var ctxObjs []types.Object
+	for _, field := range fn.Type.Params.List {
+		tv, ok := p.Pkg.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := p.Pkg.Info.Defs[name]; obj != nil {
+				ctxObjs = append(ctxObjs, obj)
+			}
+		}
+	}
+	if len(ctxObjs) == 0 {
+		return
+	}
+	used := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.Uses[id]
+		for _, c := range ctxObjs {
+			if obj == c {
+				used = true
+			}
+		}
+		return !used
+	})
+	if used {
+		return
+	}
+	// The parameter is dead. That alone is tolerated (interface
+	// satisfaction); calling a context-accepting callee without it is not.
+	var firstCallee *ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if firstCallee != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSignature(p.Pkg.Info, call)
+		if sig == nil {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isContextType(sig.Params().At(i).Type()) {
+				firstCallee = call
+				return false
+			}
+		}
+		return true
+	})
+	if firstCallee != nil {
+		p.Reportf(firstCallee.Pos(), "%s receives a context but never threads it; this call runs detached from the caller's cancellation", fn.Name.Name)
+	}
+}

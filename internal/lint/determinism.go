@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinism enforces the repository's byte-identical-output contract on
+// the packages that feed sweep documents: the same seed must produce the
+// same bytes at any parallelism, on any run, on any machine.
+//
+// Three rule groups:
+//
+//   - No calls into the global math/rand stream: the global source is
+//     shared mutable state seeded per process, so any call through it
+//     couples a point's result to scheduling order. Randomness must flow
+//     through a seeded *rand.Rand threaded from the sweep point.
+//   - No wall-clock reads (time.Now, time.Since): sweep-path results must
+//     be a pure function of their inputs. Timing belongs to the
+//     observability and perf layers (obs.Now/obs.Since), which are fenced
+//     off from result documents.
+//   - No map-iteration order escaping into slices: a slice appended to
+//     from inside `range m` accumulates values in nondeterministic order;
+//     it must be sorted before it escapes the function.
+var determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "sweep-path packages must not read the wall clock, the global math/rand stream, or leak map iteration order",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand functions that build independent
+// generators rather than drawing from the global stream.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	if !p.Cfg.DeterminismPkgs[p.Pkg.Path] {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgCall(p.Pkg.Info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name]:
+				p.Reportf(call.Pos(), "call to global math/rand.%s couples the result to process-wide state; draw from a seeded *rand.Rand threaded from the sweep point", name)
+			case path == "time" && (name == "Now" || name == "Since"):
+				p.Reportf(call.Pos(), "time.%s in deterministic sweep-path code; wall-clock reads belong to internal/obs (obs.Now, obs.Since) or internal/perf", name)
+			}
+			return true
+		})
+	}
+	for _, fn := range funcDecls(p.Pkg) {
+		checkMapOrderEscapes(p, fn)
+	}
+}
+
+// checkMapOrderEscapes flags slices that accumulate values from inside a
+// map range without a later sort.* / slices.Sort* call over the same
+// variable in the same function.
+func checkMapOrderEscapes(p *Pass, fn *ast.FuncDecl) {
+	// Pass 1: every ordering call (sort.*, slices.Sort*) and the objects
+	// its arguments mention, keyed for the "sorted later" lookup.
+	type orderingCall struct {
+		end  int // file offset of the call; appends before it are fixed
+		objs map[types.Object]bool
+	}
+	var orderings []orderingCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, _, ok := pkgCall(p.Pkg.Info, call)
+		if !ok || (path != "sort" && path != "slices") {
+			return true
+		}
+		oc := orderingCall{end: int(call.End()), objs: make(map[types.Object]bool)}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := identObj(p.Pkg.Info, id); obj != nil {
+						oc.objs[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		orderings = append(orderings, oc)
+		return true
+	})
+	sortedAfter := func(obj types.Object, pos int) bool {
+		for _, oc := range orderings {
+			if oc.end > pos && oc.objs[obj] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: appends to outer slices from inside a map range.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(bn ast.Node) bool {
+			assign, ok := bn.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !builtinCall(p.Pkg.Info, call, "append") {
+				return true
+			}
+			id, ok := assign.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := identObj(p.Pkg.Info, id)
+			if obj == nil || obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+				return true // declared inside the range: cannot outlive it unsorted
+			}
+			if sortedAfter(obj, int(call.End())) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s accumulates map-iteration values in nondeterministic order; sort it before it escapes", id.Name)
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,259 @@
+// Package lint is the repository's static-analysis suite: vet-style
+// analyzers over the package tree enforcing invariants the test suite can
+// only spot-check dynamically — deterministic sweep output, nil-safe
+// observability handles, context discipline, and the allocation budget of
+// the proven hot paths.
+//
+// Four analyzers ship today:
+//
+//   - determinism: packages that feed sweep output must not read the wall
+//     clock or the global math/rand stream, and values accumulated from a
+//     map iteration must be sorted before they escape.
+//   - obsguard: every exported pointer-receiver method in internal/obs
+//     begins with a nil-receiver guard (or forwards to one that does), and
+//     code outside obs never reaches into an obs handle's fields.
+//   - ctxflow: internal packages accept contexts from their callers
+//     instead of minting context.Background()/TODO(), never pass a nil
+//     context, and thread a received context to context-accepting callees.
+//   - noalloc: functions annotated `//cqla:noalloc` are scanned for
+//     known-allocating constructs, making the AllocsPerRun == 0 benchmarks
+//     a compile-time property of every edit rather than a runtime spot
+//     check.
+//
+// Findings print as `file:line: [rule] message`. A finding is suppressed
+// by a `//lint:ignore-cqla <rule> <reason>` comment on the same line or
+// the line directly above; the reason is mandatory. The cmd/cqlalint
+// driver runs the suite over `./...` and exits non-zero on any finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the rule (analyzer) that fired,
+// and a human-readable message.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// StringRelative formats the finding as `file:line: [rule] message` with
+// the file path relative to dir when possible (absolute otherwise).
+func (f Finding) StringRelative(dir string) string {
+	name := f.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", name, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Analyzer is one named rule family run over every loaded package.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and suppression
+	// comments.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(p *Pass)
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{determinism, obsGuard, ctxFlow, noAlloc}
+}
+
+// Config scopes the analyzers to concrete package paths. The zero value
+// checks nothing; DefaultConfig returns the repository wiring, and tests
+// point the same analyzers at fixture packages.
+type Config struct {
+	// DeterminismPkgs are the import paths of the packages that feed
+	// sweep output, where the determinism analyzer applies.
+	DeterminismPkgs map[string]bool
+	// ObsPkg is the import path of the observability package whose
+	// exported pointer-receiver methods must be nil-guarded and whose
+	// handle fields are off-limits elsewhere.
+	ObsPkg string
+	// CtxPrefixes are import-path prefixes (library code) where the
+	// ctxflow analyzer applies.
+	CtxPrefixes []string
+	// CtxExempt removes individual packages from the ctxflow scope (the
+	// perf harness runs detached by design).
+	CtxExempt map[string]bool
+}
+
+// DefaultConfig is the repository wiring of the suite.
+func DefaultConfig() Config {
+	return Config{
+		DeterminismPkgs: map[string]bool{
+			"repro/internal/explore": true,
+			"repro/internal/arch":    true,
+			"repro/internal/cqla":    true,
+			"repro/internal/ecc":     true,
+			"repro/internal/des":     true,
+			"repro/internal/circuit": true,
+			"repro/internal/qla":     true,
+		},
+		ObsPkg:      "repro/internal/obs",
+		CtxPrefixes: []string{"repro/internal/"},
+		// The perf harness measures library entry points from a detached
+		// benchmark loop; minting its own contexts is its job.
+		CtxExempt: map[string]bool{"repro/internal/perf": true},
+	}
+}
+
+// Pass hands one package to one analyzer and collects its findings.
+type Pass struct {
+	Pkg      *Package
+	Cfg      Config
+	rule     string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  p.Pkg.Fset.Position(pos),
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the full suite over the packages, drops suppressed
+// findings, and returns the rest sorted by position.
+func Run(cfg Config, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			a.Run(&Pass{Pkg: pkg, Cfg: cfg, rule: a.Name, findings: &findings})
+		}
+		findings = append(findings, badSuppressions(pkg)...)
+	}
+	sups := collectSuppressions(pkgs)
+	kept := findings[:0]
+	for _, f := range findings {
+		if !sups.matches(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return kept
+}
+
+// suppressionPrefix introduces an in-source waiver. The rule name and a
+// non-empty reason are both required: an unexplained suppression is a
+// finding of its own.
+const suppressionPrefix = "//lint:ignore-cqla"
+
+// suppressions maps file -> line -> rule names waived on that line. A
+// comment on line L waives findings on L (trailing comment) and L+1
+// (comment on its own line above the statement).
+type suppressions map[string]map[int][]string
+
+func (s suppressions) matches(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	for _, l := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, rule := range lines[l] {
+			if rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectSuppressions(pkgs []*Package) suppressions {
+	s := make(suppressions)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rule, _, ok := parseSuppression(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lines := s[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						s[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], rule)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseSuppression splits a suppression comment into rule and reason.
+// ok is false for comments that are not suppressions at all; a malformed
+// suppression (no rule or no reason) returns ok with an empty field.
+func parseSuppression(text string) (rule, reason string, ok bool) {
+	if !strings.HasPrefix(text, suppressionPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, suppressionPrefix))
+	rule, reason, _ = strings.Cut(rest, " ")
+	return rule, strings.TrimSpace(reason), true
+}
+
+// badSuppressions flags suppression comments missing a rule or a reason —
+// a waiver that does not say what it waives, or why, pins nothing.
+func badSuppressions(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rule, reason, ok := parseSuppression(c.Text)
+				if !ok || (rule != "" && reason != "") {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(c.Pos()),
+					Rule: "suppress",
+					Msg:  "suppression must name a rule and give a reason: //lint:ignore-cqla <rule> <reason>",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// noallocDirective marks a function whose body must not allocate in the
+// steady state; the noalloc analyzer checks every function carrying it.
+const noallocDirective = "//cqla:noalloc"
+
+// hasNoallocDirective reports whether the function declaration carries
+// the `//cqla:noalloc` directive in its doc comment.
+func hasNoallocDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == noallocDirective {
+			return true
+		}
+	}
+	return false
+}

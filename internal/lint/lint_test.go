@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// fixturePrefix is the import-path prefix of the fixture packages. The
+// testdata directory is invisible to `./...` wildcards, so the fixtures
+// never leak into a real build — the loader reaches them by explicit
+// relative path.
+const fixturePrefix = "repro/internal/lint/testdata/src/"
+
+func loadFixtures(t *testing.T, names ...string) []*Package {
+	t.Helper()
+	patterns := make([]string, len(names))
+	for i, n := range names {
+		patterns[i] = "./testdata/src/" + n
+	}
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", names, err)
+	}
+	return pkgs
+}
+
+// runGolden runs the suite under cfg and compares the rendered findings
+// against testdata/golden/<name>. `go test -update` rewrites the file.
+func runGolden(t *testing.T, name string, cfg Config, pkgs []*Package) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range Run(cfg, pkgs) {
+		b.WriteString(f.StringRelative(cwd))
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run `go test -update` after intentional changes): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings diverge from %s (run `go test -update` after intentional changes)\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	pkgs := loadFixtures(t, "determfix")
+	cfg := Config{DeterminismPkgs: map[string]bool{fixturePrefix + "determfix": true}}
+	runGolden(t, "determinism.golden", cfg, pkgs)
+}
+
+func TestObsGuardGolden(t *testing.T) {
+	pkgs := loadFixtures(t, "obsfix", "obsusefix")
+	cfg := Config{ObsPkg: fixturePrefix + "obsfix"}
+	runGolden(t, "obsguard.golden", cfg, pkgs)
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	pkgs := loadFixtures(t, "ctxfix")
+	cfg := Config{CtxPrefixes: []string{fixturePrefix + "ctxfix"}}
+	runGolden(t, "ctxflow.golden", cfg, pkgs)
+}
+
+func TestNoAllocGolden(t *testing.T) {
+	pkgs := loadFixtures(t, "noallocfix")
+	runGolden(t, "noalloc.golden", Config{}, pkgs)
+}
+
+func TestSuppressGolden(t *testing.T) {
+	pkgs := loadFixtures(t, "suppressfix")
+	runGolden(t, "suppress.golden", Config{}, pkgs)
+}
+
+// TestDeterminismScoping pins that the analyzer only fires inside the
+// configured package set: the same fixture under an empty config is
+// silent.
+func TestDeterminismScoping(t *testing.T) {
+	pkgs := loadFixtures(t, "determfix")
+	if got := Run(Config{}, pkgs); len(got) != 0 {
+		t.Errorf("out-of-scope package produced findings: %v", got)
+	}
+}
+
+// TestCtxExempt pins that CtxExempt removes a package the prefixes would
+// otherwise cover.
+func TestCtxExempt(t *testing.T) {
+	pkgs := loadFixtures(t, "ctxfix")
+	cfg := Config{
+		CtxPrefixes: []string{fixturePrefix + "ctxfix"},
+		CtxExempt:   map[string]bool{fixturePrefix + "ctxfix": true},
+	}
+	if got := Run(cfg, pkgs); len(got) != 0 {
+		t.Errorf("exempt package produced findings: %v", got)
+	}
+}
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text         string
+		rule, reason string
+		ok           bool
+	}{
+		{"//lint:ignore-cqla noalloc arena growth", "noalloc", "arena growth", true},
+		{"//lint:ignore-cqla noalloc", "noalloc", "", true},
+		{"//lint:ignore-cqla", "", "", true},
+		{"// an ordinary comment", "", "", false},
+		{"//lint:ignore SA1019 the staticcheck spelling", "", "", false},
+	}
+	for _, c := range cases {
+		rule, reason, ok := parseSuppression(c.text)
+		if rule != c.rule || reason != c.reason || ok != c.ok {
+			t.Errorf("parseSuppression(%q) = %q, %q, %v; want %q, %q, %v",
+				c.text, rule, reason, ok, c.rule, c.reason, c.ok)
+		}
+	}
+}
+
+func TestStringRelative(t *testing.T) {
+	f := Finding{Rule: "determinism", Msg: "m"}
+	f.Pos.Filename = "/a/b/c.go"
+	f.Pos.Line = 7
+	if got := f.StringRelative("/a"); got != "b/c.go:7: [determinism] m" {
+		t.Errorf("relative form = %q", got)
+	}
+	if got := f.StringRelative("/x/y"); got != "/a/b/c.go:7: [determinism] m" {
+		t.Errorf("outside-dir form = %q", got)
+	}
+	if got := f.StringRelative(""); got != "/a/b/c.go:7: [determinism] m" {
+		t.Errorf("empty-dir form = %q", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(".", "./testdata/src/nosuchpkg"); err == nil {
+		t.Error("loading a nonexistent package succeeded")
+	}
+}
+
+func TestAnalyzersListed(t *testing.T) {
+	want := []string{"determinism", "obsguard", "ctxflow", "noalloc"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc line", a.Name)
+		}
+	}
+}

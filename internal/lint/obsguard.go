@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsGuard pins the observability layer's disabled-is-free contract from
+// both sides:
+//
+//   - Inside the obs package, every exported method on a pointer receiver
+//     must begin with a nil-receiver guard (`if x == nil { ... }`) or
+//     consist of a single statement forwarding to another method on the
+//     same receiver (which carries the guard). The nil handle IS the
+//     disabled mode; one unguarded method turns "observability off" into
+//     a panic at the first instrumented call site.
+//   - Outside the obs package, code must never reach through an obs
+//     handle pointer into its fields: a field access dereferences the
+//     handle, so the nil (disabled) handle crashes exactly where a
+//     method call would have been free.
+var obsGuard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "obs exported pointer-receiver methods begin with a nil guard; obs handles are never dereferenced field-wise elsewhere",
+	Run:  runObsGuard,
+}
+
+func runObsGuard(p *Pass) {
+	if p.Cfg.ObsPkg == "" {
+		return
+	}
+	if p.Pkg.Path == p.Cfg.ObsPkg {
+		checkObsMethods(p)
+		return
+	}
+	checkObsFieldAccess(p)
+}
+
+func checkObsMethods(p *Pass) {
+	for _, fn := range funcDecls(p.Pkg) {
+		if fn.Recv == nil || !fn.Name.IsExported() || len(fn.Recv.List) != 1 {
+			continue
+		}
+		if _, isPtr := fn.Recv.List[0].Type.(*ast.StarExpr); !isPtr {
+			continue
+		}
+		recv := receiverName(fn)
+		if recv == "" {
+			p.Reportf(fn.Pos(), "exported method %s has an unnamed pointer receiver and cannot nil-guard it; name the receiver and guard it", fn.Name.Name)
+			continue
+		}
+		if beginsWithNilGuard(fn, recv) || forwardsToReceiver(fn, recv) {
+			continue
+		}
+		p.Reportf(fn.Pos(), "exported method (%s).%s must begin with a nil-receiver guard: a nil handle is the disabled mode and every operation on it must be a no-op", recvTypeName(fn), fn.Name.Name)
+	}
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	names := fn.Recv.List[0].Names
+	if len(names) != 1 || names[0].Name == "_" {
+		return ""
+	}
+	return names[0].Name
+}
+
+func recvTypeName(fn *ast.FuncDecl) string {
+	star := fn.Recv.List[0].Type.(*ast.StarExpr)
+	switch t := star.X.(type) {
+	case *ast.Ident:
+		return "*" + t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return "*?"
+}
+
+// beginsWithNilGuard reports whether the first statement is an if whose
+// condition checks `recv == nil` (possibly or-ed with more conditions)
+// and whose body bails out with a return.
+func beginsWithNilGuard(fn *ast.FuncDecl, recv string) bool {
+	if len(fn.Body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := fn.Body.List[0].(*ast.IfStmt)
+	if !ok || !condChecksNil(ifStmt.Cond, recv) || len(ifStmt.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+func condChecksNil(cond ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op.String() != "==" {
+			return true
+		}
+		if isIdentNamed(be.X, recv) && isNilIdent(be.Y) || isIdentNamed(be.Y, recv) && isNilIdent(be.X) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool { return isIdentNamed(e, "nil") }
+
+// forwardsToReceiver reports whether the whole body is one statement
+// delegating to a method on the same receiver — `func (c *Counter) Inc()
+// { c.Add(1) }` inherits Add's guard.
+func forwardsToReceiver(fn *ast.FuncDecl, recv string) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := fn.Body.List[0].(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 1 {
+			call, _ = s.Results[0].(*ast.CallExpr)
+		}
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && isIdentNamed(sel.X, recv)
+}
+
+// checkObsFieldAccess flags field selections through obs handle pointers
+// in every non-obs package.
+func checkObsFieldAccess(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection := p.Pkg.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			recvType := selection.Recv()
+			if _, isPtr := recvType.(*types.Pointer); !isPtr {
+				return true
+			}
+			named, inObs := namedIn(recvType, p.Cfg.ObsPkg)
+			if !inObs {
+				return true
+			}
+			p.Reportf(sel.Sel.Pos(), "direct field access (*%s.%s).%s dereferences an obs handle; a nil (disabled) handle panics here — use the nil-safe methods", obsPkgBase(p.Cfg.ObsPkg), named.Obj().Name(), sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+func obsPkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

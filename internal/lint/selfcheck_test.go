@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepositoryClean is the self-check: the suite under its shipping
+// configuration finds nothing in the repository. Every rule the
+// analyzers enforce is therefore a property of the tree at every commit,
+// not a one-time cleanup.
+func TestRepositoryClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading the repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(DefaultConfig(), pkgs) {
+		t.Errorf("%s", f.StringRelative(cwd))
+	}
+}

@@ -1,0 +1,60 @@
+// Package ctxfix exercises the ctxflow analyzer: minted root contexts,
+// nil contexts handed to callees, and context parameters that never
+// reach the context-accepting calls below them.
+package ctxfix
+
+import "context"
+
+type runner struct {
+	ctx context.Context
+}
+
+func work(ctx context.Context) {
+	_ = ctx
+}
+
+func workv(n int, ctxs ...context.Context) {
+	_, _ = n, ctxs
+}
+
+// Mint severs cancellation by making a root context.
+func Mint() {
+	work(context.Background())
+}
+
+// Todo is the same defect spelled TODO.
+func Todo() {
+	work(context.TODO())
+}
+
+// PassNil panics far from here, when the callee reads the context.
+func PassNil() {
+	work(nil)
+}
+
+// PassNilVariadic exercises the variadic parameter tail.
+func PassNilVariadic() {
+	workv(1, nil)
+}
+
+// Detached takes a context and then runs its callee off a stored one.
+func (r *runner) Detached(ctx context.Context) {
+	work(r.ctx)
+}
+
+// Threaded forwards its context: the approved shape.
+func Threaded(ctx context.Context) {
+	work(ctx)
+}
+
+// NoCallees has a dead context parameter but no context-accepting
+// callee; interface satisfaction tolerates the dead parameter.
+func NoCallees(ctx context.Context, n int) int {
+	return n + 1
+}
+
+// Waived documents deliberate detachment.
+func Waived() {
+	//lint:ignore-cqla ctxflow fixture demonstrating documented detachment
+	work(context.Background())
+}

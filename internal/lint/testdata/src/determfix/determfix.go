@@ -1,0 +1,68 @@
+// Package determfix exercises the determinism analyzer: wall-clock
+// reads, draws from the global math/rand stream, and map-iteration order
+// escaping into a slice — all constructs go vet and staticcheck accept
+// without comment.
+package determfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock on the sweep path.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Draw pulls from the process-global math/rand stream.
+func Draw() int {
+	return rand.Intn(6)
+}
+
+// DrawSeeded threads a seeded generator: the approved pattern.
+func DrawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Keys leaks map-iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts before the slice escapes: allowed.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inner appends into a slice that cannot outlive the iteration.
+func Inner(m map[string]int) int {
+	total := 0
+	for k := range m {
+		row := []byte(nil)
+		row = append(row, k...)
+		total += len(row)
+	}
+	return total
+}
+
+// Waived demonstrates an explained suppression.
+func Waived() time.Time {
+	//lint:ignore-cqla determinism fixture demonstrating an explained waiver
+	return time.Now()
+}

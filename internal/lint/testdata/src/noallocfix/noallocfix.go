@@ -1,0 +1,136 @@
+// Package noallocfix exercises the noalloc analyzer: every construct it
+// flags, and every reuse idiom it deliberately allows.
+package noallocfix
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+type point struct {
+	x, y int
+}
+
+func sink(v interface{}) { _ = v }
+
+// Push self-appends into arena storage: the approved idiom.
+//
+//cqla:noalloc
+func (r *ring) Push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// Fill appends into a caller-provided buffer: allowed.
+//
+//cqla:noalloc
+func Fill(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// Reuse rewinds an existing backing array: allowed.
+//
+//cqla:noalloc
+func Reuse(buf []int, n int) []int {
+	buf = append(buf[:0], n)
+	return buf
+}
+
+// Prealloc appends into a local with explicit capacity.
+//
+//cqla:noalloc
+func Prealloc(n int) []int {
+	//lint:ignore-cqla noalloc one-time setup buffer for the fixture
+	buf := make([]int, 0, 8)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// Grow appends into storage with no pre-allocated capacity.
+//
+//cqla:noalloc
+func Grow(n int) []int {
+	var s []int
+	s = append(s, n)
+	return s
+}
+
+// Divert appends one slice onto another.
+//
+//cqla:noalloc
+func Divert(a, b []int) []int {
+	a = append(b, 1)
+	return a
+}
+
+// Escape never assigns the append result back.
+//
+//cqla:noalloc
+func Escape(buf []int, n int) int {
+	return len(append(buf, n))
+}
+
+// Allocs collects the unconditional allocators.
+//
+//cqla:noalloc
+func Allocs(n int) {
+	_ = make([]int, n)
+	_ = new(int)
+	_ = []int{n}
+	_ = map[string]int{}
+	_ = &point{n, n}
+	go func() {}()
+}
+
+// Format allocates on every path.
+//
+//cqla:noalloc
+func Format(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Concat allocates for the joined string; constant folding is exempt.
+//
+//cqla:noalloc
+func Concat(a, b string) string {
+	const tag = "x" + "y"
+	_ = tag
+	return a + b
+}
+
+// Convert copies between string and byte-slice storage.
+//
+//cqla:noalloc
+func Convert(s string, b []byte) (int, int) {
+	return len([]byte(s)), len(string(b))
+}
+
+// Box passes a concrete value where the callee takes an interface; the
+// nil literal and the failure path are exempt.
+//
+//cqla:noalloc
+func Box(n int) {
+	sink(n)
+	sink(nil)
+	if n < 0 {
+		panic("negative")
+	}
+}
+
+// Capture closes over an enclosing variable.
+//
+//cqla:noalloc
+func Capture(n int) func() int {
+	return func() int { return n }
+}
+
+// unchecked carries no directive: the same constructs pass unflagged.
+func unchecked(n int) string {
+	_ = make([]int, n)
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,41 @@
+// Package obsfix is an obs-shaped fixture: nil-safe handles whose
+// exported pointer-receiver methods must begin with a nil guard (or
+// forward to one that does).
+package obsfix
+
+// Handle is a nil-safe observability handle; nil is the disabled mode.
+type Handle struct {
+	// Count is exported only so the companion fixture can demonstrate
+	// the field-access rule.
+	Count int
+}
+
+// Good begins with the required guard.
+func (h *Handle) Good() int {
+	if h == nil {
+		return 0
+	}
+	return h.Count
+}
+
+// Forward is a single-statement delegation and inherits Good's guard.
+func (h *Handle) Forward() int {
+	return h.Good()
+}
+
+// Bad dereferences the receiver unguarded.
+func (h *Handle) Bad() int {
+	return h.Count
+}
+
+// Unnamed cannot guard a receiver it does not name.
+func (*Handle) Unnamed() {}
+
+// stamp's exported method has a value receiver: out of scope.
+type stamp struct{ n int }
+
+// N cannot be called on a nil receiver in the first place.
+func (s stamp) N() int { return s.n }
+
+// bump is unexported: internal callers own the nil check.
+func (h *Handle) bump() int { return h.Count }

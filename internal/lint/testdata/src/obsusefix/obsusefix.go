@@ -1,0 +1,15 @@
+// Package obsusefix consumes obsfix handles from the outside, where
+// only the nil-safe method surface is allowed.
+package obsusefix
+
+import "repro/internal/lint/testdata/src/obsfix"
+
+// Read reaches into the handle's fields: panics on the nil handle.
+func Read(h *obsfix.Handle) int {
+	return h.Count
+}
+
+// ReadSafe goes through the guarded method.
+func ReadSafe(h *obsfix.Handle) int {
+	return h.Good()
+}

@@ -1,0 +1,13 @@
+// Package suppressfix exercises the suppression-comment grammar: a
+// waiver must name a rule and give a reason.
+package suppressfix
+
+// Covered carries two malformed waivers — one missing its reason, one
+// missing everything.
+func Covered() int {
+	//lint:ignore-cqla noalloc
+	n := 1
+	//lint:ignore-cqla
+	n++
+	return n
+}

@@ -1,0 +1,16 @@
+package obs
+
+import "time"
+
+// Now and Since are the stack's wall-clock indirection. Every
+// wall-clock read outside this package and internal/perf goes through
+// them: the cqlalint determinism analyzer fences time.Now/time.Since out
+// of the sweep-path packages, so clock reads that exist only to feed
+// metrics, traces and job timestamps are declared as such by routing
+// here — and a future fake clock for tests has exactly one seam to hook.
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return time.Now() }
+
+// Since returns the elapsed wall-clock time since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }

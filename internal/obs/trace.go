@@ -185,43 +185,46 @@ type chromeEvent struct {
 // after the traced work has completed — export takes the tracer lock but
 // does not synchronize with spans still being mutated.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		// The disabled tracer exports an empty — but valid — trace.
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
 	bw := bufio.NewWriter(w)
 	bw.WriteString("[")
-	if t != nil {
-		now := time.Since(t.epoch)
-		for i, s := range t.Spans() {
-			dur := s.dur
-			if !s.ended {
-				dur = now - s.start
-			}
-			ev := chromeEvent{
-				Name: s.name,
-				Cat:  "cqla",
-				Ph:   "X",
-				Ts:   float64(s.start) / float64(time.Microsecond),
-				Dur:  float64(dur) / float64(time.Microsecond),
-				Pid:  1,
-				Tid:  s.lane,
-			}
-			if len(s.attrs) > 0 || s.parent >= 0 {
-				ev.Args = make(map[string]string, len(s.attrs)+2)
-				for _, a := range s.attrs {
-					ev.Args[a.k] = a.v
-				}
-				if s.parent >= 0 {
-					ev.Args["parent_span"] = strconv.Itoa(s.parent)
-				}
-				ev.Args["span_id"] = strconv.Itoa(s.id)
-			}
-			b, err := json.Marshal(ev)
-			if err != nil {
-				return err
-			}
-			if i > 0 {
-				bw.WriteString(",\n ")
-			}
-			bw.Write(b)
+	now := time.Since(t.epoch)
+	for i, s := range t.Spans() {
+		dur := s.dur
+		if !s.ended {
+			dur = now - s.start
 		}
+		ev := chromeEvent{
+			Name: s.name,
+			Cat:  "cqla",
+			Ph:   "X",
+			Ts:   float64(s.start) / float64(time.Microsecond),
+			Dur:  float64(dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  s.lane,
+		}
+		if len(s.attrs) > 0 || s.parent >= 0 {
+			ev.Args = make(map[string]string, len(s.attrs)+2)
+			for _, a := range s.attrs {
+				ev.Args[a.k] = a.v
+			}
+			if s.parent >= 0 {
+				ev.Args["parent_span"] = strconv.Itoa(s.parent)
+			}
+			ev.Args["span_id"] = strconv.Itoa(s.id)
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			bw.WriteString(",\n ")
+		}
+		bw.Write(b)
 	}
 	bw.WriteString("]\n")
 	return bw.Flush()
