@@ -1,36 +1,54 @@
 // Command cqlalint runs the repository's static-analysis suite
-// (internal/lint) over the named package patterns and reports findings as
-// `file:line: [rule] message`. It exits 0 when the tree is clean, 1 when
-// any finding remains, and 2 on a load failure.
+// (internal/lint) over the named package patterns. It exits 0 when the
+// tree is clean, 1 when any finding remains, and 2 on a load failure
+// (load errors print to stderr with file:line positions).
 //
 // Usage:
 //
-//	cqlalint [-list] [packages]
+//	cqlalint [-list] [-format text|json|github] [-fix] [-tags list] [-bench file] [packages]
 //
-// With no patterns it analyzes ./... . Suppress an individual finding
-// with a `//lint:ignore-cqla <rule> <reason>` comment on the same line or
-// the line directly above it.
+// With no patterns it analyzes ./... . Output formats: text prints
+// `file:line: [rule] message`; json emits the versioned findings
+// document; github emits `::error file=…,line=…` workflow commands so CI
+// findings annotate the PR diff.
+//
+// -bench names a BENCH.json document for the budget-aware noalloc
+// analyzer; the default "BENCH.json" is skipped silently when absent, an
+// explicit path must exist. -fix writes a
+// `//lint:ignore-cqla <rule> TODO(triage): <finding>` stub above each
+// finding for staged adoption on big refactors; rerunning cqlalint then
+// reports clean, and rerunning -fix changes nothing. Suppress an
+// individual finding permanently with a
+// `//lint:ignore-cqla <rule> <reason>` comment on the same line or the
+// line directly above it.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 
 	"repro/internal/lint"
+	"repro/internal/perf"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	format := flag.String("format", "text", "findings output: text, json, or github")
+	fix := flag.Bool("fix", false, "write //lint:ignore-cqla TODO(triage) stubs for the findings and exit 0")
+	tags := flag.String("tags", "", "comma-separated build tags passed to the go list loader")
+	bench := flag.String("bench", "BENCH.json", "BENCH.json document for the budget-aware noalloc analyzer (\"\" disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: cqlalint [-list] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cqlalint [-list] [-format text|json|github] [-fix] [-tags list] [-bench file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -44,17 +62,88 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(cwd, patterns...)
+
+	cfg := lint.DefaultConfig()
+	if *bench != "" {
+		budgets, err := lint.LoadBudgets(*bench)
+		switch {
+		case err == nil:
+			cfg.Budgets = budgets
+			cfg.BudgetPath = *bench
+			cfg.MeasuredFuncs = perf.MeasuredFunctions()
+		case errors.Is(err, fs.ErrNotExist) && !flagWasSet("bench"):
+			// No checked-in BENCH.json here: the budget analyzer stays off.
+		default:
+			fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := lint.LoadTags(cwd, *tags, patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+		var le *lint.LoadError
+		if errors.As(err, &le) {
+			for _, d := range le.Diags {
+				fmt.Fprintf(os.Stderr, "%s\n", d)
+			}
+			fmt.Fprintf(os.Stderr, "cqlalint: %d load error(s)\n", len(le.Diags))
+		} else {
+			fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+		}
 		os.Exit(2)
 	}
-	findings := lint.Run(lint.DefaultConfig(), pkgs)
-	for _, f := range findings {
-		fmt.Println(f.StringRelative(cwd))
+	findings := lint.Run(cfg, pkgs)
+
+	if *fix && len(findings) > 0 {
+		files, stubbed, remainder, err := lint.ApplyFix(findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cqlalint: -fix: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("cqlalint: wrote %d suppression stub(s) across %d file(s); rerun cqlalint to verify, then triage the TODOs\n", stubbed, files)
+		for _, f := range remainder {
+			fmt.Println(f.StringRelative(cwd))
+		}
+		if len(remainder) > 0 {
+			fmt.Fprintf(os.Stderr, "cqlalint: %d finding(s) have no source position and cannot be stubbed\n", len(remainder))
+			os.Exit(1)
+		}
+		return
+	}
+
+	switch *format {
+	case "text":
+		for _, f := range findings {
+			fmt.Println(f.StringRelative(cwd))
+		}
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, cwd, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+			os.Exit(2)
+		}
+	case "github":
+		if err := lint.WriteGitHub(os.Stdout, cwd, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "cqlalint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cqlalint: unknown -format %q (want text, json, or github)\n", *format)
+		os.Exit(2)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "cqlalint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

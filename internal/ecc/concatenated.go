@@ -12,6 +12,8 @@ import "math/rand"
 // This is the code-capacity concatenation experiment that backs the
 // double-exponential reliability claim the CQLA's level-mixing relies on:
 // each added level squares the (normalized) failure probability.
+//
+//cqla:noalloc
 func (c *Code) ConcatenatedMonteCarloX(level int, p float64, trials int, rng *rand.Rand) MonteCarloResult {
 	if level < 1 {
 		panic("ecc: concatenation level must be >= 1")

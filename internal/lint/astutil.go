@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // pkgCall resolves a call through a package selector (`pkg.Fn(...)`) to
@@ -75,6 +76,101 @@ func identObj(info *types.Info, id *ast.Ident) types.Object {
 		return obj
 	}
 	return info.Defs[id]
+}
+
+// calleeFunc resolves a call expression to the declared function or
+// method it invokes, normalized to the generic origin. Nil for builtins,
+// conversions, func-typed values and interface-less cases the type info
+// cannot name.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr: // generic instantiation f[T](...)
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.Ident:
+			if fn, ok := info.Uses[f].(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// funcSymbol renders a declared function as a stable cross-package
+// symbol: "import/path.Func", "import/path.(*Type).Method" or
+// "import/path.(Type).Method". Empty for interface methods and functions
+// without a package (builtins, error.Error) — identities the call-graph
+// walk cannot pin to a declaration.
+func funcSymbol(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	t := sig.Recv().Type()
+	ptr := ""
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+		ptr = "*"
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "" // interface method or unnamed receiver
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return ""
+	}
+	return fn.Pkg().Path() + ".(" + ptr + named.Obj().Name() + ")." + fn.Name()
+}
+
+// declSymbol renders a function declaration in pkg with the same grammar
+// as funcSymbol, so AST-side and types-side lookups meet on one key.
+func declSymbol(pkg *Package, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return pkg.Path + "." + fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	ptr := ""
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+		ptr = "*"
+	}
+	switch x := t.(type) {
+	case *ast.IndexExpr: // generic receiver Type[T]
+		t = x.X
+	case *ast.IndexListExpr:
+		t = x.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	return pkg.Path + ".(" + ptr + id.Name + ")." + fn.Name.Name
+}
+
+// symbolPkg extracts the import path from a funcSymbol-grammar string.
+func symbolPkg(sym string) string {
+	if i := strings.Index(sym, ".("); i >= 0 {
+		return sym[:i]
+	}
+	if i := strings.LastIndex(sym, "."); i >= 0 {
+		return sym[:i]
+	}
+	return sym
 }
 
 // funcDecls yields every function declaration with a body in the package.

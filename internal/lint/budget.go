@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// LoadBudgets reads a BENCH.json document produced by `cqla bench`
+// (internal/perf schema) and returns benchmark name -> measured
+// allocs/op. Only the fields the budget-noalloc analyzer needs are
+// decoded, so the perf schema can grow without touching the lint layer.
+func LoadBudgets(path string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		SchemaVersion int `json:"schema_version"`
+		Benchmarks    []struct {
+			Name        string `json:"name"`
+			AllocsPerOp int64  `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %v", path, err)
+	}
+	if doc.SchemaVersion < 1 {
+		return nil, fmt.Errorf("lint: %s: missing or unsupported schema_version %d", path, doc.SchemaVersion)
+	}
+	budgets := make(map[string]int64, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		budgets[b.Name] = b.AllocsPerOp
+	}
+	return budgets, nil
+}
+
+// budgetNoAlloc reconciles the `//cqla:noalloc` annotation set with the
+// measured BENCH.json numbers, so the annotations are generated from
+// measurement rather than memory:
+//
+//   - every benchmark measuring 0 allocs/op must map (through
+//     Config.MeasuredFuncs) to functions that carry the directive;
+//   - a mapped function carrying the directive while every benchmark
+//     that measures it now allocates is stale — fix the regression or
+//     drop the directive;
+//   - a zero-alloc benchmark with no mapping entry, or a mapping naming a
+//     function that does not exist in its (loaded) package, is a schema
+//     hole reported against the document itself.
+//
+// Mappings into packages outside the current load are skipped, so
+// cqlalint over a package subset stays quiet about code it cannot see.
+var budgetNoAlloc = &Analyzer{
+	Name:  "budget-noalloc",
+	Doc:   "BENCH.json zero-alloc benchmarks and //cqla:noalloc directives must agree",
+	Run:   runBudgetNoAlloc,
+	Suite: true,
+}
+
+func runBudgetNoAlloc(p *Pass) {
+	cfg := p.Cfg
+	if cfg.Budgets == nil || len(cfg.MeasuredFuncs) == 0 {
+		return
+	}
+	docPos := token.Position{Filename: cfg.BudgetPath, Line: 1}
+
+	// Every zero-alloc benchmark needs a mapping entry, or its budget is
+	// enforced by nothing.
+	benches := make([]string, 0, len(cfg.Budgets))
+	for name := range cfg.Budgets {
+		benches = append(benches, name)
+	}
+	sort.Strings(benches)
+	for _, name := range benches {
+		if cfg.Budgets[name] == 0 && len(cfg.MeasuredFuncs[name]) == 0 {
+			p.reportAt(docPos, "benchmark %s measures 0 allocs/op but has no measured-function mapping; its budget is unenforced", name)
+		}
+	}
+
+	// symbol -> the benchmarks that measure it.
+	measuredBy := make(map[string][]string)
+	for bench, syms := range cfg.MeasuredFuncs {
+		for _, sym := range syms {
+			measuredBy[sym] = append(measuredBy[sym], bench)
+		}
+	}
+
+	loaded := make(map[string]bool, len(p.All))
+	seen := make(map[string]*ast.FuncDecl)
+	pkgOf := make(map[string]*Package)
+	for _, pkg := range p.All {
+		loaded[pkg.Path] = true
+		for _, fn := range funcDecls(pkg) {
+			sym := declSymbol(pkg, fn)
+			if _, mapped := measuredBy[sym]; mapped {
+				seen[sym] = fn
+				pkgOf[sym] = pkg
+			}
+		}
+	}
+
+	syms := make([]string, 0, len(measuredBy))
+	for sym := range measuredBy {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		if !loaded[symbolPkg(sym)] {
+			continue
+		}
+		fn, ok := seen[sym]
+		if !ok {
+			p.reportAt(docPos, "measured-function mapping names %s, which does not exist; the budget it carries is enforced by nothing", sym)
+			continue
+		}
+		min, measured := minAllocs(cfg.Budgets, measuredBy[sym])
+		if !measured {
+			continue // its benchmarks are absent from this document
+		}
+		has := hasNoallocDirective(fn)
+		pos := pkgOf[sym].Fset.Position(fn.Pos())
+		switch {
+		case min == 0 && !has:
+			p.reportAt(pos, "%s is measured at 0 allocs/op by benchmark %s but carries no //cqla:noalloc directive", fn.Name.Name, firstZero(cfg.Budgets, measuredBy[sym]))
+		case min > 0 && has:
+			p.reportAt(pos, "%s carries //cqla:noalloc but its benchmark now measures %d allocs/op; fix the regression or drop the directive", fn.Name.Name, min)
+		}
+	}
+}
+
+// minAllocs returns the smallest allocs/op among the named benchmarks
+// present in the document.
+func minAllocs(budgets map[string]int64, benches []string) (int64, bool) {
+	var min int64
+	found := false
+	for _, b := range benches {
+		v, ok := budgets[b]
+		if !ok {
+			continue
+		}
+		if !found || v < min {
+			min = v
+		}
+		found = true
+	}
+	return min, found
+}
+
+// firstZero names one benchmark that measured the function at zero, for
+// the diagnostic.
+func firstZero(budgets map[string]int64, benches []string) string {
+	sorted := append([]string(nil), benches...)
+	sort.Strings(sorted)
+	for _, b := range sorted {
+		if v, ok := budgets[b]; ok && v == 0 {
+			return b
+		}
+	}
+	return sorted[0]
+}

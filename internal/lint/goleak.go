@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goLeak flags fire-and-forget goroutines in the serving and
+// observability packages before the distributed tier multiplies them. A
+// `go` statement passes if the goroutine is provably stoppable by at
+// least one of:
+//
+//   - context: a context.Context flows in as a call argument, or the
+//     goroutine body references one (a captured ctx, a ctx field on the
+//     receiver);
+//   - channel: the body selects, receives from, or ranges over a channel,
+//     so closing it ends the goroutine;
+//   - WaitGroup: the body calls (sync.WaitGroup).Done and some function
+//     in the spawning package calls Wait (the join point is reachable),
+//     or the body itself is the waiter.
+//
+// The body is the func literal when the statement launches one, or the
+// resolved declaration for a same-package call (`go m.run(j)`). A target
+// that resolves to neither — a cross-package call or a func value — is
+// flagged unless a context argument flows in, since nothing about its
+// lifetime can be proven here.
+var goLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go statements in serving packages must be cancellable or WaitGroup-tracked",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	if !p.Cfg.GoleakPkgs[p.Pkg.Path] {
+		return
+	}
+	info := p.Pkg.Info
+
+	// The join-point precondition: a Wait call anywhere in the package
+	// makes Done-tracked goroutines collectable.
+	pkgHasWait := false
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, fn := range funcDecls(p.Pkg) {
+		if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+			decls[obj] = fn
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isWaitGroupCall(info, call, "Wait") {
+				pkgHasWait = true
+			}
+			return true
+		})
+	}
+
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, gs, decls, pkgHasWait)
+			return true
+		})
+	}
+}
+
+func checkGoStmt(p *Pass, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl, pkgHasWait bool) {
+	info := p.Pkg.Info
+	for _, arg := range gs.Call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return // cancellation flows in explicitly
+		}
+	}
+
+	var body *ast.BlockStmt
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if callee := calleeFunc(info, gs.Call); callee != nil {
+			if fn := decls[callee]; fn != nil {
+				body = fn.Body
+			}
+		}
+	}
+	if body == nil {
+		p.Reportf(gs.Pos(), "goroutine target cannot be resolved in this package and receives no context; its lifetime is unprovable")
+		return
+	}
+	if goroutineIsBounded(info, body, pkgHasWait) {
+		return
+	}
+	p.Reportf(gs.Pos(), "fire-and-forget goroutine: no context, no done-channel select or receive, and no WaitGroup with a reachable Wait")
+}
+
+// goroutineIsBounded scans one goroutine body for any of the accepted
+// cancellation signals.
+func goroutineIsBounded(info *types.Info, body *ast.BlockStmt, pkgHasWait bool) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SelectStmt:
+			bounded = true
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				bounded = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			if tv, ok := info.Types[n.(ast.Expr)]; ok && isContextType(tv.Type) {
+				bounded = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupCall(info, node, "Wait") {
+				bounded = true // the goroutine is itself the joiner
+			}
+			if pkgHasWait && isWaitGroupCall(info, node, "Done") {
+				bounded = true
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// isWaitGroupCall reports a method call named name on a sync.WaitGroup
+// receiver.
+func isWaitGroupCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	named, _ := namedIn(recvType(fn), "sync")
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// recvType returns the receiver type of a method, nil for functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}

@@ -4,7 +4,7 @@
 // observability handles, context discipline, and the allocation budget of
 // the proven hot paths.
 //
-// Four analyzers ship today:
+// Seven analyzers ship today:
 //
 //   - determinism: packages that feed sweep output must not read the wall
 //     clock or the global math/rand stream, and values accumulated from a
@@ -19,10 +19,23 @@
 //     known-allocating constructs, making the AllocsPerRun == 0 benchmarks
 //     a compile-time property of every edit rather than a runtime spot
 //     check.
+//   - purity: no function reachable from an engine Evaluate entry point in
+//     the analytic-model packages may touch package-level mutable state,
+//     call into os/file IO, or mutate its receiver's maps outside a held
+//     mutex (a call-graph walk; the documented memo types are exempt).
+//   - goleak: every `go` statement in the serving and observability
+//     packages must be cancellable — a context, a done-channel select, or
+//     a WaitGroup with a reachable Wait.
+//   - budget-noalloc: the `//cqla:noalloc` annotation set is reconciled
+//     against a measured BENCH.json — every zero-alloc benchmark's
+//     function carries the directive, and no mapped directive outlives a
+//     benchmark that now allocates.
 //
 // Findings print as `file:line: [rule] message`. A finding is suppressed
 // by a `//lint:ignore-cqla <rule> <reason>` comment on the same line or
-// the line directly above; the reason is mandatory. The cmd/cqlalint
+// the line directly above (a run of consecutive waiver lines counts as
+// one block, so stacked `-fix` stubs all apply); `<rule>` may be a
+// comma-separated list and the reason is mandatory. The cmd/cqlalint
 // driver runs the suite over `./...` and exits non-zero on any finding.
 package lint
 
@@ -30,7 +43,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -46,13 +58,7 @@ type Finding struct {
 // StringRelative formats the finding as `file:line: [rule] message` with
 // the file path relative to dir when possible (absolute otherwise).
 func (f Finding) StringRelative(dir string) string {
-	name := f.Pos.Filename
-	if dir != "" {
-		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
-		}
-	}
-	return fmt.Sprintf("%s:%d: [%s] %s", name, f.Pos.Line, f.Rule, f.Msg)
+	return fmt.Sprintf("%s:%d: [%s] %s", relName(dir, f.Pos.Filename), f.Pos.Line, f.Rule, f.Msg)
 }
 
 // Analyzer is one named rule family run over every loaded package.
@@ -64,11 +70,15 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(p *Pass)
+	// Suite marks analyzers that need the whole load at once (call-graph
+	// walks, cross-package reconciliation). They run exactly once per Run
+	// with Pass.All populated, instead of once per package.
+	Suite bool
 }
 
 // Analyzers is the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{determinism, obsGuard, ctxFlow, noAlloc}
+	return []*Analyzer{determinism, obsGuard, ctxFlow, noAlloc, purity, goLeak, budgetNoAlloc}
 }
 
 // Config scopes the analyzers to concrete package paths. The zero value
@@ -88,6 +98,33 @@ type Config struct {
 	// CtxExempt removes individual packages from the ctxflow scope (the
 	// perf harness runs detached by design).
 	CtxExempt map[string]bool
+	// PurityPkgs are the analytic-model packages the purity call-graph
+	// walk covers; calls leaving the set are trusted (they are modeled by
+	// their own packages' rules).
+	PurityPkgs map[string]bool
+	// PurityEntries are the method names whose declarations in PurityPkgs
+	// root the walk (Evaluate/EvaluateCompiled on the engines).
+	PurityEntries map[string]bool
+	// PurityExemptPkgs are packages whose functions the walk never
+	// descends into — the documented memoization layer.
+	PurityExemptPkgs map[string]bool
+	// PurityExemptTypes are `path.Type` receiver types whose methods are
+	// exempt (cqla.AdderPlan caches its own makespans by design).
+	PurityExemptTypes map[string]bool
+	// GoleakPkgs are the packages where every `go` statement must be
+	// provably cancellable or WaitGroup-tracked.
+	GoleakPkgs map[string]bool
+	// Budgets maps benchmark name -> measured allocs/op, as loaded from a
+	// BENCH.json by LoadBudgets. Nil disables the budget-noalloc analyzer.
+	Budgets map[string]int64
+	// BudgetPath is the document Budgets came from, used to position
+	// findings that have no source location (a benchmark with no mapping).
+	BudgetPath string
+	// MeasuredFuncs maps benchmark name -> the fully qualified functions
+	// the benchmark measures (perf.MeasuredFunctions in the repository
+	// wiring). Symbols use the form "import/path.Func" or
+	// "import/path.(*Type).Method".
+	MeasuredFuncs map[string][]string
 }
 
 // DefaultConfig is the repository wiring of the suite.
@@ -107,12 +144,30 @@ func DefaultConfig() Config {
 		// The perf harness measures library entry points from a detached
 		// benchmark loop; minting its own contexts is its job.
 		CtxExempt: map[string]bool{"repro/internal/perf": true},
+		PurityPkgs: map[string]bool{
+			"repro/internal/qla":  true,
+			"repro/internal/cqla": true,
+			"repro/internal/arch": true,
+		},
+		PurityEntries: map[string]bool{"Evaluate": true, "EvaluateCompiled": true},
+		// internal/memo is the documented concurrency-safe cache layer;
+		// AdderPlan memoizes its own makespans behind it.
+		PurityExemptPkgs:  map[string]bool{"repro/internal/memo": true},
+		PurityExemptTypes: map[string]bool{"repro/internal/cqla.AdderPlan": true},
+		GoleakPkgs: map[string]bool{
+			"repro/internal/explore": true,
+			"repro/internal/arch":    true,
+			"repro/internal/obs":     true,
+		},
 	}
 }
 
 // Pass hands one package to one analyzer and collects its findings.
 type Pass struct {
-	Pkg      *Package
+	Pkg *Package
+	// All is every package in the load, for Suite analyzers that walk
+	// across package boundaries. Per-package analyzers may ignore it.
+	All      []*Package
 	Cfg      Config
 	rule     string
 	findings *[]Finding
@@ -127,15 +182,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportAt records a finding at an already-resolved position — for suite
+// analyzers whose diagnostics may point outside any loaded source file
+// (the BENCH.json document itself).
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:  pos,
+		Rule: p.rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Run executes the full suite over the packages, drops suppressed
 // findings, and returns the rest sorted by position.
 func Run(cfg Config, pkgs []*Package) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range Analyzers() {
-			a.Run(&Pass{Pkg: pkg, Cfg: cfg, rule: a.Name, findings: &findings})
+			if a.Suite {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, All: pkgs, Cfg: cfg, rule: a.Name, findings: &findings})
 		}
 		findings = append(findings, badSuppressions(pkg)...)
+	}
+	if len(pkgs) > 0 {
+		for _, a := range Analyzers() {
+			if !a.Suite {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkgs[0], All: pkgs, Cfg: cfg, rule: a.Name, findings: &findings})
+		}
 	}
 	sups := collectSuppressions(pkgs)
 	kept := findings[:0]
@@ -166,13 +243,22 @@ func Run(cfg Config, pkgs []*Package) []Finding {
 const suppressionPrefix = "//lint:ignore-cqla"
 
 // suppressions maps file -> line -> rule names waived on that line. A
-// comment on line L waives findings on L (trailing comment) and L+1
-// (comment on its own line above the statement).
+// comment on line L waives findings on L (trailing comment) and on the
+// first non-waiver line below a run of consecutive waiver lines — so
+// several stacked stubs (as `-fix` writes for multi-rule lines) all apply
+// to the statement beneath them.
 type suppressions map[string]map[int][]string
 
 func (s suppressions) matches(f Finding) bool {
 	lines := s[f.Pos.Filename]
-	for _, l := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+	for _, rule := range lines[f.Pos.Line] {
+		if rule == f.Rule {
+			return true
+		}
+	}
+	// Scan upward through the contiguous run of waiver-bearing lines
+	// directly above the finding.
+	for l := f.Pos.Line - 1; len(lines[l]) > 0; l-- {
 		for _, rule := range lines[l] {
 			if rule == f.Rule {
 				return true
@@ -188,7 +274,7 @@ func collectSuppressions(pkgs []*Package) suppressions {
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
-					rule, _, ok := parseSuppression(c.Text)
+					rules, _, ok := parseSuppression(c.Text)
 					if !ok {
 						continue
 					}
@@ -198,7 +284,7 @@ func collectSuppressions(pkgs []*Package) suppressions {
 						lines = make(map[int][]string)
 						s[pos.Filename] = lines
 					}
-					lines[pos.Line] = append(lines[pos.Line], rule)
+					lines[pos.Line] = append(lines[pos.Line], rules...)
 				}
 			}
 		}
@@ -206,16 +292,24 @@ func collectSuppressions(pkgs []*Package) suppressions {
 	return s
 }
 
-// parseSuppression splits a suppression comment into rule and reason.
-// ok is false for comments that are not suppressions at all; a malformed
+// parseSuppression splits a suppression comment into its rule list and
+// reason. The rule field may name several rules separated by commas; line
+// endings are tolerated so CRLF sources parse identically. ok is false
+// for comments that are not suppressions at all — including waiver-shaped
+// text inside /* block comments */, which never suppresses; a malformed
 // suppression (no rule or no reason) returns ok with an empty field.
-func parseSuppression(text string) (rule, reason string, ok bool) {
+func parseSuppression(text string) (rules []string, reason string, ok bool) {
 	if !strings.HasPrefix(text, suppressionPrefix) {
-		return "", "", false
+		return nil, "", false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, suppressionPrefix))
-	rule, reason, _ = strings.Cut(rest, " ")
-	return rule, strings.TrimSpace(reason), true
+	ruleField, reason, _ := strings.Cut(rest, " ")
+	for _, r := range strings.Split(ruleField, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, strings.TrimSpace(reason), true
 }
 
 // badSuppressions flags suppression comments missing a rule or a reason —
@@ -225,8 +319,8 @@ func badSuppressions(pkg *Package) []Finding {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				rule, reason, ok := parseSuppression(c.Text)
-				if !ok || (rule != "" && reason != "") {
+				rules, reason, ok := parseSuppression(c.Text)
+				if !ok || (len(rules) > 0 && reason != "") {
 					continue
 				}
 				out = append(out, Finding{

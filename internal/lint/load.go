@@ -7,12 +7,14 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, parsed and type-checked package: the unit every
@@ -42,6 +44,32 @@ type listedPackage struct {
 	DepOnly    bool
 	GoFiles    []string
 	Name       string
+	Error      *listedError
+}
+
+// listedError is go list's own diagnostic for a package it could not
+// resolve (missing directory, no Go files).
+type listedError struct {
+	Pos string
+	Err string
+}
+
+// LoadError reports load failures — parse errors, type-check errors, and
+// unresolvable patterns — as positioned diagnostics so a CI log points at
+// the offending line instead of printing one opaque string.
+type LoadError struct {
+	// Diags are "file:line:col: message" strings in source order.
+	Diags []string
+}
+
+func (e *LoadError) Error() string {
+	switch len(e.Diags) {
+	case 0:
+		return "lint: load failed"
+	case 1:
+		return "lint: " + e.Diags[0]
+	}
+	return fmt.Sprintf("lint: %d load errors:\n  %s", len(e.Diags), strings.Join(e.Diags, "\n  "))
 }
 
 // Load resolves the patterns with the go tool and returns the matched
@@ -51,10 +79,17 @@ type listedPackage struct {
 // the loader needs nothing beyond the standard library and an installed
 // go toolchain.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadTags(dir, "", patterns...)
+}
+
+// LoadTags is Load with a build-tag list (comma-separated, as the go
+// tool's -tags flag takes it) applied to package resolution, so trees
+// with tag-gated files lint the same configuration they build.
+func LoadTags(dir, tags string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	listed, err := goList(dir, patterns)
+	listed, err := goList(dir, tags, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +104,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			roots = append(roots, lp)
 		}
 	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %v", patterns)
+	}
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -79,25 +117,53 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return os.Open(file)
 	})
 
+	var diags []string
 	pkgs := make([]*Package, 0, len(roots))
 	for _, lp := range roots {
-		pkg, err := check(fset, imp, lp)
-		if err != nil {
-			return nil, err
+		if lp.Error != nil && len(lp.GoFiles) == 0 {
+			// Nothing to parse: surface go list's own diagnostic. (A root
+			// with Go files proceeds to the parser and type-checker, whose
+			// positions beat go list's summary.)
+			diags = append(diags, listDiag(lp))
+			continue
+		}
+		pkg, checkDiags := check(fset, imp, lp)
+		if len(checkDiags) > 0 {
+			diags = append(diags, checkDiags...)
+			continue
 		}
 		pkgs = append(pkgs, pkg)
+	}
+	if len(diags) > 0 {
+		return nil, &LoadError{Diags: diags}
 	}
 	return pkgs, nil
 }
 
-// goList shells out to `go list -deps -export -json`, which both
+// listDiag formats a go list package error, keeping its position prefix
+// when one exists.
+func listDiag(lp *listedPackage) string {
+	msg := strings.TrimSpace(lp.Error.Err)
+	if lp.Error.Pos != "" {
+		return lp.Error.Pos + ": " + msg
+	}
+	return lp.ImportPath + ": " + msg
+}
+
+// goList shells out to `go list -e -deps -export -json`, which both
 // enumerates the package graph and materializes export data for every
-// dependency in the build cache.
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{
-		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Name",
-	}, patterns...)
+// dependency in the build cache. -e keeps broken root packages in the
+// output so their files reach our parser and type-checker, which produce
+// positioned diagnostics.
+func goList(dir, tags string, patterns []string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Name,Error",
+	}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -120,15 +186,27 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	return out, nil
 }
 
-// check parses and type-checks one listed package.
-func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
+// check parses and type-checks one listed package. On failure it returns
+// the positioned diagnostics instead of a package.
+func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, []string) {
+	var diags []string
 	files := make([]*ast.File, 0, len(lp.GoFiles))
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+			if el, ok := err.(scanner.ErrorList); ok {
+				for _, e := range el {
+					diags = append(diags, fmt.Sprintf("%s: %s", e.Pos, e.Msg))
+				}
+			} else {
+				diags = append(diags, fmt.Sprintf("parsing %s: %v", name, err))
+			}
+			continue
 		}
 		files = append(files, f)
+	}
+	if len(diags) > 0 {
+		return nil, diags
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -136,10 +214,19 @@ func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: imp}
+	conf := types.Config{Importer: imp, Error: func(err error) {
+		if te, ok := err.(types.Error); ok {
+			diags = append(diags, fmt.Sprintf("%s: %s", te.Fset.Position(te.Pos), te.Msg))
+			return
+		}
+		diags = append(diags, err.Error())
+	}}
 	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	if err != nil && len(diags) == 0 {
+		diags = append(diags, fmt.Sprintf("type-checking %s: %v", lp.ImportPath, err))
+	}
+	if len(diags) > 0 {
+		return nil, diags
 	}
 	return &Package{
 		Path:  lp.ImportPath,

@@ -2,13 +2,17 @@ package lint
 
 import (
 	"os"
+	"strings"
 	"testing"
+
+	"repro/internal/perf"
 )
 
 // TestRepositoryClean is the self-check: the suite under its shipping
-// configuration finds nothing in the repository. Every rule the
-// analyzers enforce is therefore a property of the tree at every commit,
-// not a one-time cleanup.
+// configuration — including the budget-aware noalloc coupling to the
+// checked-in BENCH.json — finds nothing in the repository. Every rule
+// the analyzers enforce is therefore a property of the tree at every
+// commit, not a one-time cleanup.
 func TestRepositoryClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the whole module")
@@ -24,7 +28,28 @@ func TestRepositoryClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range Run(DefaultConfig(), pkgs) {
+	cfg := DefaultConfig()
+	cfg.Budgets, err = LoadBudgets("../../BENCH.json")
+	if err != nil {
+		t.Fatalf("loading the checked-in BENCH.json: %v", err)
+	}
+	cfg.BudgetPath = "../../BENCH.json"
+	cfg.MeasuredFuncs = perf.MeasuredFunctions()
+	for _, f := range Run(cfg, pkgs) {
 		t.Errorf("%s", f.StringRelative(cwd))
+	}
+
+	// The coupling cuts both ways: remapping a zero-alloc benchmark to a
+	// function without the directive must fail, which is exactly what
+	// deleting a //cqla:noalloc directive from the real mapping does.
+	broken := cfg
+	broken.MeasuredFuncs = make(map[string][]string, len(cfg.MeasuredFuncs))
+	for k, v := range cfg.MeasuredFuncs {
+		broken.MeasuredFuncs[k] = v
+	}
+	broken.MeasuredFuncs["BuildDAGInto"] = []string{"repro/internal/circuit.BuildDAG"}
+	got := Run(broken, pkgs)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "carries no //cqla:noalloc directive") {
+		t.Errorf("deleting a directive (simulated by remapping) produced %v, want exactly one missing-directive finding", got)
 	}
 }

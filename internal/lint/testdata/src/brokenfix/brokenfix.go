@@ -1,0 +1,8 @@
+// Package brokenfix deliberately fails to type-check: the loader must
+// surface the failure as a positioned diagnostic, not one opaque string.
+package brokenfix
+
+// F names a type that does not exist.
+func F() undefinedType {
+	return nil
+}

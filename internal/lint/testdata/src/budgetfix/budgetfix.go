@@ -1,0 +1,34 @@
+// Package budgetfix exercises the budget-aware noalloc analyzer against
+// testdata/bench/budgetfix.json: directives and measurements must agree
+// in both directions, and helpers without benchmarks stay unconstrained.
+package budgetfix
+
+// Fast is measured at 0 allocs/op and carries the directive: consistent.
+//
+//cqla:noalloc
+func Fast(x int) int {
+	return x * 2
+}
+
+// Missing is measured at 0 allocs/op but lacks the directive — the
+// regression the analyzer exists to catch.
+func Missing(x int) int {
+	return x + 1
+}
+
+// Stale carries the directive while its benchmark now allocates; either
+// the measurement regressed or the annotation is stale.
+//
+//cqla:noalloc
+func Stale(x int) int {
+	return x - 1
+}
+
+// Unmeasured carries the directive with no benchmark mapping — allowed:
+// internal helpers are proven through their callers' benchmarks, and the
+// body-level noalloc analyzer still covers them.
+//
+//cqla:noalloc
+func Unmeasured(x int) int {
+	return -x
+}

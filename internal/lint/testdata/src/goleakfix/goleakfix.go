@@ -1,0 +1,108 @@
+// Package goleakfix exercises the goleak analyzer: fire-and-forget
+// goroutines are flagged, while every accepted cancellation signal —
+// context flow, done-channel selects and receives, channel draining, and
+// WaitGroup tracking with a reachable Wait — stays silent.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak is the plain offense: nothing can ever stop this goroutine.
+func Leak() {
+	go func() {
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// LeakCall launches a same-package function with no cancellation signal;
+// the analyzer resolves the declaration and flags the statement.
+func LeakCall() {
+	go spin()
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// WithContextArg passes a context into the goroutine explicitly.
+func WithContextArg(ctx context.Context) {
+	go func(c context.Context) {
+		<-c.Done()
+	}(ctx)
+}
+
+// CapturesContext references the enclosing context from the body.
+func CapturesContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// SelectsQuit selects on a done channel; closing it ends the goroutine.
+func SelectsQuit(quit chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Drains ranges over a channel; the sender closing it is the signal.
+func Drains(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// Tracked is WaitGroup-tracked, and the Wait below is in this package.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// server mirrors the jobs-manager shape: the goroutine body is a method
+// whose cancellation comes from a context field on the receiver.
+type server struct {
+	ctx context.Context
+	wg  sync.WaitGroup
+}
+
+// Run resolves `go s.loop()` to the method declaration below.
+func (s *server) Run() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	<-s.ctx.Done()
+}
+
+// Joiner is the goroutine that performs the Wait itself — the shutdown
+// notifier idiom.
+func (s *server) Joiner(done chan struct{}) {
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+}

@@ -1,0 +1,44 @@
+package perf
+
+// MeasuredFunctions maps each registered benchmark to the fully
+// qualified functions whose allocation behavior the benchmark certifies.
+// The budget-aware noalloc analyzer (internal/lint) joins this table
+// with a BENCH.json document: a benchmark measuring 0 allocs/op requires
+// `//cqla:noalloc` on its functions, and a mapped directive whose
+// benchmark now allocates is stale. Keeping the table next to the
+// registry — and pinned against it by TestMeasuredFunctionsSchema —
+// means renaming a benchmark breaks the build instead of silently
+// dropping a budget.
+//
+// Symbols use the lint grammar: "import/path.Func",
+// "import/path.(*Type).Method" or "import/path.(Type).Method".
+//
+// SyndromeDecodeSteane is deliberately unmapped: CorrectX carries the
+// directive for its body, but the benchmark measures the documented
+// 1-alloc (Vec, bool) return escape, which lives in the caller — mapping
+// it would misreport the directive as stale.
+func MeasuredFunctions() map[string][]string {
+	return map[string][]string{
+		"AnalyticAdder256":    {"repro/internal/arch.(analyticEngine).Evaluate"},
+		"BuildDAG":            {"repro/internal/circuit.BuildDAG"},
+		"BuildDAGInto":        {"repro/internal/circuit.BuildDAGInto"},
+		"CompileOnceEvalMany": {"repro/internal/arch.(simEngine).EvaluateCompiled"},
+		"ConcatenatedMCLevel2": {
+			"repro/internal/ecc.(*Code).ConcatenatedMonteCarloX",
+		},
+		"ConcatenatedMCLevel2Steane": {
+			"repro/internal/ecc.(*Code).ConcatenatedMonteCarloX",
+		},
+		"DES64BitAdder":          {"repro/internal/des.Run"},
+		"DESEventLoop64BitAdder": {"repro/internal/des.RunDAG"},
+		"ExplorePareto":          {"repro/internal/explore.Run"},
+		"MonteCarloXSeeded":      {"repro/internal/ecc.(*Code).MonteCarloXSeeded"},
+		"MonteCarloXSeededSerial": {
+			"repro/internal/ecc.(*Code).MonteCarloXSeededParallel",
+		},
+		"PublicDecode": {
+			"repro/internal/ecc.(*Code).SyndromeX",
+			"repro/internal/ecc.(*Code).DecodeX",
+		},
+	}
+}

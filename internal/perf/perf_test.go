@@ -77,6 +77,31 @@ func TestSuiteRegistered(t *testing.T) {
 	}
 }
 
+// TestMeasuredFunctionsSchema pins the benchmark → measured-function
+// table against the registry and the lint symbol grammar: a renamed
+// benchmark or a typo'd symbol fails here, long before the budget-aware
+// noalloc analyzer would silently drop the budget it carries.
+func TestMeasuredFunctionsSchema(t *testing.T) {
+	registered := map[string]bool{}
+	for _, bm := range Benchmarks() {
+		registered[bm.Name] = true
+	}
+	symbol := regexp.MustCompile(`^[\w./-]+\.(\(\*?\w+\)\.)?\w+$`)
+	for bench, funcs := range MeasuredFunctions() {
+		if !registered[bench] {
+			t.Errorf("MeasuredFunctions maps %q, which is not a registered benchmark", bench)
+		}
+		if len(funcs) == 0 {
+			t.Errorf("MeasuredFunctions[%q] is empty; drop the entry instead", bench)
+		}
+		for _, sym := range funcs {
+			if !symbol.MatchString(sym) {
+				t.Errorf("MeasuredFunctions[%q] symbol %q does not match the lint grammar", bench, sym)
+			}
+		}
+	}
+}
+
 func TestRunProducesVersionedJSON(t *testing.T) {
 	var progress int
 	opts := fastOpts
