@@ -7,6 +7,7 @@
 //
 //	cqla [-current] <experiment>
 //	cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S] [-trace out.json]
+//	cqla sweep -circuit file.qc [same flags]
 //	cqla serve [-addr :8400] [-pprof] [-log-level info] [-log-format text|json]
 //	cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]]
 //
@@ -29,12 +30,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/circuit"
 	"repro/internal/cqla"
 	"repro/internal/ecc"
 	"repro/internal/explore"
@@ -118,7 +121,8 @@ func runAll(p phys.Params) {
 	}
 }
 
-// runSweep handles `cqla sweep <name> [flags]`.
+// runSweep handles `cqla sweep <name> [flags]` and
+// `cqla sweep -circuit file.qc [flags]`.
 func runSweep(args []string, current bool) {
 	fs := flag.NewFlagSet("cqla sweep", flag.ExitOnError)
 	format := fs.String("format", "text", "output format: text, json or csv")
@@ -128,28 +132,48 @@ func runSweep(args []string, current bool) {
 	cur := fs.Bool("current", current, "use currently demonstrated ion-trap parameters instead of projected")
 	progress := fs.Bool("progress", false, "report point completion on stderr")
 	trace := fs.String("trace", "", "write a Chrome trace_event JSON of the sweep to this path (open in chrome://tracing or https://ui.perfetto.dev)")
+	circuitPath := fs.String("circuit", "", "sweep a custom circuit file (text format, see docs/workload-format.md) across block budgets instead of a registered sweep")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cqla sweep <name> [flags]\n\nFlags:\n")
+		fmt.Fprintf(os.Stderr, "usage: cqla sweep <name> [flags]\n       cqla sweep -circuit file.qc [flags]\n\nFlags:\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "\nSweeps:\n")
 		listSweeps(os.Stderr)
 	}
-	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
-		fs.Usage()
-		os.Exit(2)
+	// A leading flag is allowed only for the -circuit form; a registered
+	// sweep is always named first.
+	name := ""
+	if len(args) >= 1 && !strings.HasPrefix(args[0], "-") {
+		name = strings.ToLower(args[0])
+		args = args[1:]
 	}
-	name := strings.ToLower(args[0])
-	fs.Parse(args[1:])
+	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "cqla: unexpected arguments after sweep name: %q\n\n", fs.Args())
 		fs.Usage()
 		os.Exit(2)
 	}
-	exp, err := explore.Lookup(name)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cqla: unknown sweep %q\n\nSweeps:\n", name)
-		listSweeps(os.Stderr)
+	var exp *explore.Experiment
+	switch {
+	case *circuitPath != "" && name != "":
+		fmt.Fprintf(os.Stderr, "cqla: use either a sweep name or -circuit, not both\n\n")
+		fs.Usage()
 		os.Exit(2)
+	case *circuitPath != "":
+		var err error
+		if exp, err = circuitExperiment(*circuitPath); err != nil {
+			fmt.Fprintf(os.Stderr, "cqla: %v\n", err)
+			os.Exit(2)
+		}
+	case name == "":
+		fs.Usage()
+		os.Exit(2)
+	default:
+		var err error
+		if exp, err = explore.Lookup(name); err != nil {
+			fmt.Fprintf(os.Stderr, "cqla: unknown sweep %q\n\nSweeps:\n", name)
+			listSweeps(os.Stderr)
+			os.Exit(2)
+		}
 	}
 	if !validFormat(*format) {
 		fmt.Fprintf(os.Stderr, "cqla: unknown format %q (have %s)\n", *format, strings.Join(explore.Formats(), ", "))
@@ -371,6 +395,25 @@ Flags:
 	}
 }
 
+// circuitExperiment loads a text-format circuit file and wraps it in the
+// block-budget sweep CircuitExperiment defines; the workload is named after
+// the file.
+func circuitExperiment(path string) (*explore.Experiment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c, perr := circuit.Parse(f)
+	if cerr := f.Close(); perr == nil {
+		perr = cerr
+	}
+	if perr != nil {
+		return nil, fmt.Errorf("%s: %w", path, perr)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return explore.CircuitExperiment(name, c)
+}
+
 // listBenchmarks prints the perf registry, so newly registered benchmarks
 // appear in usage output automatically.
 func listBenchmarks(w io.Writer) {
@@ -456,6 +499,7 @@ func listSweeps(w io.Writer) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: cqla [-current] <experiment>
        cqla sweep <name> [-format text|json|csv] [-engine analytic|des] [-parallel N] [-seed S] [-trace out.json]
+       cqla sweep -circuit file.qc [same flags]
        cqla serve [-addr :8400] [-pprof] [-log-level info] [-log-format text|json]
        cqla bench [-filter re] [-out BENCH.json] [-benchtime d] [-baseline old.json [-gate pct]]
 

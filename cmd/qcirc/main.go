@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	qcirc gen   -kind adder|ripple|qft -n N     emit a circuit to stdout
+//	qcirc gen   -kind adder|ripple|qft|qftcomm|shor-stage -n N   emit a circuit to stdout
+//	qcirc fmt                                    canonicalize a circuit (stdin to stdout)
+//	qcirc parse                                  validate a circuit, print a summary
 //	qcirc stats                                  read a circuit, print stats
 //	qcirc sched -blocks K                        schedule onto K blocks
 //	qcirc sim   -a X -b Y -n N -kind adder       simulate an adder
+//
+// gen | fmt | parse is the round-trip invariant: gen emits canonical text,
+// fmt reproduces it byte for byte, parse accepts it. The format is
+// specified in docs/workload-format.md.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/gen"
 	"repro/internal/sched"
+	"repro/internal/shor"
 )
 
 func main() {
@@ -31,6 +38,10 @@ func main() {
 	switch cmd {
 	case "gen":
 		err = runGen(args)
+	case "fmt":
+		err = runFmt(args)
+	case "parse":
+		err = runParse(args)
 	case "stats":
 		err = runStats(args)
 	case "sched":
@@ -48,14 +59,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: qcirc <gen|stats|sched|sim> [flags]
+	fmt.Fprintln(os.Stderr, `usage: qcirc <gen|fmt|parse|stats|sched|sim> [flags]
 
-  gen   -kind adder|ripple|qft -n N    generate a circuit (text to stdout)
+  gen   -kind adder|ripple|qft|qftcomm|shor-stage -n N   generate a circuit (text to stdout)
+  fmt                                  canonicalize a circuit (stdin to stdout)
+  parse                                validate a circuit from stdin, print a summary
   stats                                circuit stats (text from stdin)
   sched -blocks K                      list-schedule stdin onto K blocks
   sim   -kind adder|ripple -n N -a X -b Y   simulate an addition`)
 }
 
+// buildCircuit shares the arch kernel registry's vocabulary: qft is the
+// pure rotation cascade, qftcomm adds the bit-reversal swap chains,
+// shor-stage is the controlled addition of modular exponentiation. ripple
+// is qcirc-only (a generator comparison, not an arch workload kind).
 func buildCircuit(kind string, n int) (*circuit.Circuit, error) {
 	switch kind {
 	case "adder":
@@ -63,7 +80,11 @@ func buildCircuit(kind string, n int) (*circuit.Circuit, error) {
 	case "ripple":
 		return gen.RippleCarry(n).Circuit, nil
 	case "qft":
+		return gen.QFT(n, false), nil
+	case "qftcomm":
 		return gen.QFT(n, true), nil
+	case "shor-stage":
+		return shor.StageCircuit(n), nil
 	default:
 		return nil, fmt.Errorf("unknown kind %q", kind)
 	}
@@ -71,7 +92,7 @@ func buildCircuit(kind string, n int) (*circuit.Circuit, error) {
 
 func runGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	kind := fs.String("kind", "adder", "circuit kind: adder, ripple, qft")
+	kind := fs.String("kind", "adder", "circuit kind: adder, ripple, qft, qftcomm, shor-stage")
 	n := fs.Int("n", 8, "width in bits/qubits")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +102,33 @@ func runGen(args []string) error {
 		return err
 	}
 	return circuit.Encode(os.Stdout, c)
+}
+
+func runFmt(args []string) error {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := circuit.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	return circuit.Format(os.Stdout, c)
+}
+
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := circuit.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	s := c.Stats()
+	fmt.Printf("ok: %d qubits, %d instructions, %d slots serial\n",
+		s.Qubits, s.Instructions, s.TotalSlots)
+	return nil
 }
 
 func runStats(args []string) error {

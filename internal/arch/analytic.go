@@ -3,6 +3,7 @@ package arch
 import (
 	"context"
 	"strconv"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/obs"
@@ -17,16 +18,53 @@ type analyticEngine struct{ m *Machine }
 
 func (analyticEngine) Name() string { return EngineAnalytic }
 
-// EvaluateCompiled evaluates a precompiled workload. The closed-form model
-// has no per-evaluation setup of its own, but compilation seeds the
-// machine's adder-schedule memo with the plan's shared DAG, so the speedup
-// terms below read a sweep-wide memo instead of rebuilding the kernel per
-// machine.
+// EvaluateCompiled evaluates a precompiled workload. The paper's kinds
+// (adder, modexp, qft) forward to their closed forms — compilation seeds
+// the machine's adder-schedule memo with the plan's shared DAG, so the
+// speedup terms read a sweep-wide memo instead of rebuilding the kernel
+// per machine. Every other kind, including custom circuits, is costed
+// directly from the compiled plan's schedule.
 func (e analyticEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (Result, error) {
 	if cw == nil || cw.m != e.m {
 		return Result{}, errForeignCompile
 	}
-	return e.Evaluate(ctx, cw.w)
+	switch cw.w.Kind {
+	case KindAdder, KindModExp, KindQFT:
+		return e.Evaluate(ctx, cw.w)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	_, sp := obs.StartSpan(ctx, "analytic-eval")
+	defer sp.End()
+	if sp != nil {
+		sp.Annotate("kind", string(cw.w.Kind))
+		sp.Annotate("bits", strconv.Itoa(cw.w.Bits))
+	}
+	return e.planMetrics(cw.w, cw.plan), nil
+}
+
+// planMetrics costs a compiled plan with the closed-form schedule model:
+// the list-scheduled makespan at the machine's block budget, priced at the
+// level-2 error-correction slot time, bracketed by the serial and
+// critical-path bounds.
+func (e analyticEngine) planMetrics(w Workload, plan *WorkloadPlan) Result {
+	cm := e.m.cq
+	slot := cm.SlotTime(2)
+	d := plan.DAG()
+	makespan := plan.makespan(e.m.cfg.Blocks)
+	serial := d.TotalSlots()
+	speedup := 1.0
+	if makespan > 0 {
+		speedup = float64(serial) / float64(makespan)
+	}
+	return e.m.result(EngineAnalytic, w, []Metric{
+		{"computation_s", (time.Duration(makespan) * slot).Seconds()},
+		{"critical_path_s", (time.Duration(d.Depth()) * slot).Seconds()},
+		{"serial_s", (time.Duration(serial) * slot).Seconds()},
+		{"parallel_speedup", speedup},
+		{"makespan_slots", float64(makespan)},
+	})
 }
 
 func (e analyticEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
@@ -82,12 +120,18 @@ func (e analyticEngine) Evaluate(ctx context.Context, w Workload) (Result, error
 			{"total_s", (t.Computation + t.Communication).Seconds()},
 			{"area_reduction", cm.AreaReduction(q, w.Hierarchy)},
 		}), nil
-	default: // KindQFT, by Validate
+	case KindQFT:
 		t := cm.QFTTimes(n)
 		return e.m.result(EngineAnalytic, w, []Metric{
 			{"computation_s", t.Computation.Seconds()},
 			{"communication_s", t.Communication.Seconds()},
 			{"total_s", (t.Computation + t.Communication).Seconds()},
 		}), nil
+	default: // registry kernels (custom workloads fail in PlanWorkload)
+		plan, err := PlanWorkload(w)
+		if err != nil {
+			return Result{}, err
+		}
+		return e.planMetrics(w, plan), nil
 	}
 }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cqla"
 	"repro/internal/des"
-	"repro/internal/gen"
 	"repro/internal/memo"
 	"repro/internal/sched"
 )
@@ -17,43 +16,88 @@ import (
 // of list-scheduled makespans per block budget. Adder and modexp workloads
 // share the carry-lookahead adder kernel (the paper evaluates modular
 // exponentiation as repeated additions), so their plans are
-// interchangeable at equal width.
+// interchangeable at equal width; every other kind — the registry kernels
+// and custom circuits from circuit.Parse — compiles to its own DAG.
 //
 // A plan is immutable apart from its schedule memo, which is lock-guarded;
 // it is safe for concurrent use and intended to be shared — the explore
 // runner compiles each (kernel, bits) pair once per sweep and binds the
 // one plan to every machine that evaluates it.
 type WorkloadPlan struct {
+	kind Kind
+	name string // custom circuit name; "" for built-in kinds
 	bits int
 
 	// adder is set for adder/modexp workloads; its DAG and schedule memo
 	// are shared with the analytic model via Machine.UseAdderPlan.
 	adder *cqla.AdderPlan
 
-	// qft is set for QFT workloads, with its own schedule memo.
-	qft *circuit.DAG
+	// dag is set for every other kernel, with its own schedule memo.
+	dag *circuit.DAG
 	ms  memo.Map[int, int]
 }
 
 // PlanWorkload compiles the kernel circuit and dependency DAG for w. The
 // result is machine-independent: bind it to a machine with
-// Machine.CompileWith (or let Machine.Compile do both steps).
+// Machine.CompileWith (or let Machine.Compile do both steps). Custom
+// workloads carry their own circuit and are compiled with PlanCircuit
+// instead.
 func PlanWorkload(w Workload) (*WorkloadPlan, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	p := &WorkloadPlan{bits: w.Bits}
+	p := &WorkloadPlan{kind: w.Kind, bits: w.Bits}
 	switch w.Kind {
-	case KindQFT:
-		p.qft = circuit.BuildDAG(gen.QFT(w.Bits, false))
-	default: // KindAdder, KindModExp, by Validate
+	case KindAdder, KindModExp:
 		p.adder = cqla.NewAdderPlan(w.Bits)
+	case KindCustom:
+		return nil, fmt.Errorf("arch: custom workload %q has no registered kernel; compile its circuit with PlanCircuit", w.Name)
+	default:
+		build, ok := kernelCircuits[w.Kind]
+		if !ok {
+			return nil, fmt.Errorf("arch: no kernel builder for workload kind %q", w.Kind)
+		}
+		p.dag = circuit.BuildDAG(build(w.Bits))
 	}
 	return p, nil
 }
 
+// PlanCircuit compiles a user-supplied circuit (typically from
+// circuit.Parse) into a workload plan under the given name. The resulting
+// plan behaves exactly like a registry kernel's: bind it to machines with
+// Machine.CompileWith and evaluate on either engine.
+func PlanCircuit(name string, c *circuit.Circuit) (*WorkloadPlan, error) {
+	if name == "" {
+		return nil, fmt.Errorf("arch: custom circuit needs a name")
+	}
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("arch: custom circuit %q is empty", name)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: custom circuit %q: %w", name, err)
+	}
+	return &WorkloadPlan{
+		kind: KindCustom,
+		name: name,
+		bits: c.NumQubits(),
+		dag:  circuit.BuildDAG(c),
+	}, nil
+}
+
 // Bits returns the problem width the plan was compiled for.
 func (p *WorkloadPlan) Bits() int { return p.bits }
+
+// Workload returns the canonical workload description the plan compiles:
+// for custom plans this is the KindCustom workload carrying the circuit's
+// name and register width.
+func (p *WorkloadPlan) Workload() Workload {
+	return Workload{Kind: p.kind, Bits: p.bits, Name: p.name}
+}
+
+// Kernel returns the plan's kernel identity — the cache key under which
+// plans are shareable; it matches Workload.Kernel for every workload the
+// plan is compatible with.
+func (p *WorkloadPlan) Kernel() string { return p.Workload().Kernel() }
 
 // DAG returns the compiled kernel dependency graph (shared storage; treat
 // it as read-only).
@@ -61,7 +105,7 @@ func (p *WorkloadPlan) DAG() *circuit.DAG {
 	if p.adder != nil {
 		return p.adder.DAG()
 	}
-	return p.qft
+	return p.dag
 }
 
 // compatible reports whether the plan can evaluate w.
@@ -69,10 +113,14 @@ func (p *WorkloadPlan) compatible(w Workload) bool {
 	if p.bits != w.Bits {
 		return false
 	}
-	if w.Kind == KindQFT {
-		return p.qft != nil
+	switch w.Kind {
+	case KindAdder, KindModExp:
+		return p.adder != nil
+	case KindCustom:
+		return p.kind == KindCustom && p.name == w.Name && p.dag != nil
+	default:
+		return p.kind == w.Kind && p.dag != nil
 	}
-	return p.adder != nil
 }
 
 // makespan returns the kernel's list-scheduled makespan at the given block
@@ -82,7 +130,7 @@ func (p *WorkloadPlan) makespan(blocks int) int {
 		return p.adder.Makespan(blocks)
 	}
 	return p.ms.Get(blocks, func() int {
-		return sched.ListSchedule(p.qft, blocks).MakespanSlots
+		return sched.ListSchedule(p.dag, blocks).MakespanSlots
 	})
 }
 
@@ -111,13 +159,25 @@ func (cw *CompiledWorkload) Plan() *WorkloadPlan { return cw.plan }
 // Compile validates w, compiles its kernel plan and binds it to the
 // machine. For repeated evaluations of one workload family across many
 // machines, compile the plan once with PlanWorkload and bind it to each
-// machine with CompileWith instead.
+// machine with CompileWith instead. Custom workloads go through
+// CompileCircuit.
 func (m *Machine) Compile(w Workload) (*CompiledWorkload, error) {
 	plan, err := PlanWorkload(w)
 	if err != nil {
 		return nil, err
 	}
 	return m.CompileWith(w, plan)
+}
+
+// CompileCircuit compiles a user-supplied circuit under the given name and
+// binds it to the machine — Compile for workloads that carry their own
+// gates instead of a registered kernel.
+func (m *Machine) CompileCircuit(name string, c *circuit.Circuit) (*CompiledWorkload, error) {
+	plan, err := PlanCircuit(name, c)
+	if err != nil {
+		return nil, err
+	}
+	return m.CompileWith(plan.Workload(), plan)
 }
 
 // CompileWith binds a precompiled plan to this machine. The plan's adder

@@ -1,0 +1,39 @@
+package circuit_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/circuit"
+)
+
+// ExampleParse shows the text-format round trip the toolchain is built
+// on: Parse is strict (positions in errors, no partial circuits), Format
+// emits the canonical form, and formatting a parsed circuit reproduces
+// canonical input byte for byte — `qcirc gen | qcirc fmt` is the identity.
+// The format is specified in docs/workload-format.md.
+func ExampleParse() {
+	const source = `# Bell pair: H then CNOT, both qubits measured.
+qubits 2
+h 0
+cnot 0 1
+measure 0
+measure 1
+`
+	c, err := circuit.ParseString(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(circuit.FormatString(c))
+
+	// Parse errors carry the line they happened on.
+	_, err = circuit.ParseString("qubits 2\ncnot 0 7\n")
+	fmt.Println(err)
+	// Output:
+	// qubits 2
+	// h 0
+	// cnot 0 1
+	// measure 0
+	// measure 1
+	// circuit: line 2: qubit 7 outside the declared register [0,2)
+}

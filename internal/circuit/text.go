@@ -4,15 +4,53 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
 
-// Encode writes the circuit in the line-oriented text format the paper
-// describes as its simulator input: one instruction per line, a mnemonic
-// followed by logical qubit operands ("toffoli 3 4 11"), with a header
-// line declaring the register width. Lines starting with '#' are comments.
-func Encode(w io.Writer, c *Circuit) error {
+// This file implements the repository's line-oriented text circuit format —
+// the "assembly language" the paper describes as its simulator input. The
+// normative specification (grammar, gate set, error cases, a worked
+// example) lives in docs/workload-format.md; Parse and Format are its
+// reference implementation and every other entry point (Encode, Decode,
+// cmd/qcirc, the serve API's circuit field) delegates to them.
+//
+// The format, in brief:
+//
+//	qubits N                     header, exactly once, before any gate
+//	<mnemonic> <q...> [angle]    one instruction per line
+//	# ...                        comment; blank lines are ignored
+//
+// Operands are distinct qubit indices in [0, N); cphase carries one extra
+// finite angle field, rendered as %.17g so float64 values round-trip
+// exactly.
+
+// ParseError is a positioned syntax or validity error from Parse, carrying
+// the 1-based line number the problem was found on.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error renders the error in the historical "circuit: line N: ..." shape.
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return "circuit: " + e.Msg
+	}
+	return fmt.Sprintf("circuit: line %d: %s", e.Line, e.Msg)
+}
+
+func parseErrorf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Format writes the circuit in canonical text form: the qubits header
+// followed by one instruction per line, exactly as Instr.String renders
+// them. Format output always re-parses to an equal circuit, and parsing
+// then formatting any valid document yields the canonical bytes — the
+// `qcirc gen | qcirc fmt` round trip is the identity.
+func Format(w io.Writer, c *Circuit) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "qubits %d\n", c.NumQubits()); err != nil {
 		return err
@@ -25,17 +63,28 @@ func Encode(w io.Writer, c *Circuit) error {
 	return bw.Flush()
 }
 
-// EncodeToString renders the circuit text format as a string.
-func EncodeToString(c *Circuit) string {
+// FormatString renders the canonical text form as a string.
+func FormatString(c *Circuit) string {
 	var sb strings.Builder
-	if err := Encode(&sb, c); err != nil {
+	if err := Format(&sb, c); err != nil {
 		panic(err) // strings.Builder cannot fail
 	}
 	return sb.String()
 }
 
-// Decode parses the text format produced by Encode.
-func Decode(r io.Reader) (*Circuit, error) {
+// Encode writes the circuit in the text format; it is Format under the
+// encoder/decoder naming the package started with.
+func Encode(w io.Writer, c *Circuit) error { return Format(w, c) }
+
+// EncodeToString renders the circuit text format as a string.
+func EncodeToString(c *Circuit) string { return FormatString(c) }
+
+// Parse reads one circuit from the text format. Every malformed input —
+// missing or duplicate header, unknown mnemonic, wrong operand count,
+// out-of-range or repeated operands, bad angle — returns a *ParseError
+// naming the offending line; Parse never panics on untrusted input. The
+// returned circuit additionally satisfies Validate.
+func Parse(r io.Reader) (*Circuit, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var c *Circuit
@@ -49,48 +98,24 @@ func Decode(r io.Reader) (*Circuit, error) {
 		fields := strings.Fields(line)
 		if fields[0] == "qubits" {
 			if c != nil {
-				return nil, fmt.Errorf("circuit: line %d: duplicate qubits header", lineNo)
+				return nil, parseErrorf(lineNo, "duplicate qubits header")
 			}
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("circuit: line %d: malformed qubits header", lineNo)
+				return nil, parseErrorf(lineNo, "malformed qubits header")
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
-				return nil, fmt.Errorf("circuit: line %d: invalid qubit count %q", lineNo, fields[1])
+				return nil, parseErrorf(lineNo, "invalid qubit count %q", fields[1])
 			}
 			c = New(n)
 			continue
 		}
 		if c == nil {
-			return nil, fmt.Errorf("circuit: line %d: instruction before qubits header", lineNo)
+			return nil, parseErrorf(lineNo, "instruction before qubits header")
 		}
-		kind, ok := kindByName(fields[0])
-		if !ok {
-			return nil, fmt.Errorf("circuit: line %d: unknown mnemonic %q", lineNo, fields[0])
-		}
-		wantOperands := kind.Arity()
-		wantFields := 1 + wantOperands
-		if kind == CPhase {
-			wantFields++
-		}
-		if len(fields) != wantFields {
-			return nil, fmt.Errorf("circuit: line %d: %s takes %d fields, got %d", lineNo, fields[0], wantFields-1, len(fields)-1)
-		}
-		qubits := make([]int, wantOperands)
-		for i := 0; i < wantOperands; i++ {
-			q, err := strconv.Atoi(fields[1+i])
-			if err != nil || q < 0 {
-				return nil, fmt.Errorf("circuit: line %d: invalid qubit %q", lineNo, fields[1+i])
-			}
-			qubits[i] = q
-		}
-		in := NewInstr(kind, qubits...)
-		if kind == CPhase {
-			angle, err := strconv.ParseFloat(fields[len(fields)-1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("circuit: line %d: invalid angle %q", lineNo, fields[len(fields)-1])
-			}
-			in.Angle = angle
+		in, err := parseInstr(fields, c.NumQubits(), lineNo)
+		if err != nil {
+			return nil, err
 		}
 		c.Append(in)
 	}
@@ -98,15 +123,66 @@ func Decode(r io.Reader) (*Circuit, error) {
 		return nil, err
 	}
 	if c == nil {
-		return nil, fmt.Errorf("circuit: missing qubits header")
+		return nil, &ParseError{Msg: "missing qubits header"}
 	}
 	return c, nil
 }
 
-// DecodeString parses the text format from a string.
-func DecodeString(s string) (*Circuit, error) {
-	return Decode(strings.NewReader(s))
+// parseInstr validates and decodes one instruction line. It performs every
+// check NewInstr would panic on — arity, operand range, operand
+// distinctness (a two-qubit gate wired back onto its own operand, like
+// "cnot 0 0", is a self-cycle, not a gate) — as positioned errors.
+func parseInstr(fields []string, numQubits, lineNo int) (Instr, error) {
+	kind, ok := kindByName(fields[0])
+	if !ok {
+		return Instr{}, parseErrorf(lineNo, "unknown mnemonic %q", fields[0])
+	}
+	wantOperands := kind.Arity()
+	wantFields := 1 + wantOperands
+	if kind == CPhase {
+		wantFields++
+	}
+	if len(fields) != wantFields {
+		return Instr{}, parseErrorf(lineNo, "%s takes %d fields, got %d", fields[0], wantFields-1, len(fields)-1)
+	}
+	var in Instr
+	in.Kind = kind
+	for i := 0; i < wantOperands; i++ {
+		q, err := strconv.Atoi(fields[1+i])
+		if err != nil || q < 0 {
+			return Instr{}, parseErrorf(lineNo, "invalid qubit %q", fields[1+i])
+		}
+		if q >= numQubits {
+			return Instr{}, parseErrorf(lineNo, "qubit %d outside the declared register [0,%d)", q, numQubits)
+		}
+		for j := 0; j < i; j++ {
+			if in.Qubits[j] == q {
+				return Instr{}, parseErrorf(lineNo, "%s operands must be distinct, got %s twice", fields[0], fields[1+i])
+			}
+		}
+		in.Qubits[i] = q
+	}
+	if kind == CPhase {
+		angle, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil || math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return Instr{}, parseErrorf(lineNo, "invalid angle %q", fields[len(fields)-1])
+		}
+		in.Angle = angle
+	}
+	return in, nil
 }
+
+// ParseString parses the text format from a string.
+func ParseString(s string) (*Circuit, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Decode parses the text format produced by Encode; it is Parse under the
+// encoder/decoder naming the package started with.
+func Decode(r io.Reader) (*Circuit, error) { return Parse(r) }
+
+// DecodeString parses the text format from a string.
+func DecodeString(s string) (*Circuit, error) { return ParseString(s) }
 
 func kindByName(name string) (Kind, bool) {
 	for k := Kind(0); k < numKinds; k++ {

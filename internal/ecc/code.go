@@ -331,11 +331,11 @@ func buildLookup(h *gf2.Matrix) map[uint64]gf2.Vec {
 // against.
 //
 // The shims are shaped for the compiler's inlining budget: each is exactly
-// one worker call plus one gf2.RawWord construction, so a caller whose
-// result stays on its stack performs the whole syndrome-extract + decode
-// round without allocating. CorrectX/CorrectZ carry a second return value
-// that pushes them just past the inline threshold; they cost one
-// allocation (the residual vector), down from three. The per-side
+// one worker call plus one gf2.RawWord construction. Since gf2.Vec stores
+// small vectors in an inline word, RawWord is a plain struct literal —
+// nothing to heap-allocate even when a shim's result escapes — so the
+// whole public decode path, CorrectX/CorrectZ included, runs at zero
+// allocations (TestPublicDecodeAllocationFree pins this). The per-side
 // delegators are marked go:noinline so the shims pay a fixed call, not the
 // delegator's inlined body.
 //

@@ -67,11 +67,11 @@ func TestPublicDecodeMatchesVectorPath(t *testing.T) {
 }
 
 // TestPublicDecodeAllocationFree is the tentpole assertion: the public
-// decode path — syndrome extraction plus table decode — performs zero
-// allocations when its results stay on the caller's stack, for both error
-// types. CorrectX/CorrectZ return a (vector, bool) pair, which keeps them
-// just past the compiler's inlining budget; they are pinned at exactly one
-// allocation (the residual), down from three before the packed backing.
+// decode path — syndrome extraction, table decode, and the full
+// CorrectX/CorrectZ round — performs zero allocations when its results
+// stay on the caller's stack, for both error types. gf2.Vec's inline-word
+// representation is what closes the last gap: a small vector is a value,
+// so even the (vector, bool) pair CorrectX returns costs nothing.
 func TestPublicDecodeAllocationFree(t *testing.T) {
 	for _, c := range Codes() {
 		e := gf2.NewVec(c.N)
@@ -96,15 +96,15 @@ func TestPublicDecodeAllocationFree(t *testing.T) {
 			if _, fault := c.CorrectX(e); fault {
 				sink++
 			}
-		}); n > 1 {
-			t.Errorf("%s CorrectX: %v allocs/run, want <= 1", c.Short, n)
+		}); n != 0 {
+			t.Errorf("%s CorrectX: %v allocs/run, want 0", c.Short, n)
 		}
 		if n := testing.AllocsPerRun(200, func() {
 			if _, fault := c.CorrectZ(e); fault {
 				sink++
 			}
-		}); n > 1 {
-			t.Errorf("%s CorrectZ: %v allocs/run, want <= 1", c.Short, n)
+		}); n != 0 {
+			t.Errorf("%s CorrectZ: %v allocs/run, want 0", c.Short, n)
 		}
 	}
 }
@@ -159,7 +159,7 @@ func BenchmarkPublicDecode(b *testing.B) {
 }
 
 // BenchmarkPublicCorrect measures the full correction round (decode plus
-// residual construction); the pair return keeps it at one allocation.
+// residual construction), allocation-free since gf2.Vec went inline-word.
 func BenchmarkPublicCorrect(b *testing.B) {
 	c := Steane()
 	e := gf2.NewVec(c.N)

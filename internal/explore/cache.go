@@ -36,11 +36,12 @@ type evalCache struct {
 	compiledHits, compiledMisses *obs.Counter
 }
 
-// planKey identifies a kernel plan: adder and modexp workloads share the
-// carry-lookahead kernel, QFT has its own.
+// planKey identifies a kernel plan by kernel identity × width: adder and
+// modexp workloads share the carry-lookahead kernel, every other kind —
+// including named custom circuits — has its own (arch.Workload.Kernel).
 type planKey struct {
-	qft  bool
-	bits int
+	kernel string
+	bits   int
 }
 
 // compiledKey identifies a machine-bound compilation.
@@ -95,7 +96,7 @@ func (c *evalCache) machine(opts ...arch.Option) (*arch.Machine, error) {
 // A cold plan compile — the circuit generation and DAG build that
 // dominate one-shot evaluation — is recorded as a "dag-build" span.
 func (c *evalCache) plan(ctx context.Context, w arch.Workload) (*arch.WorkloadPlan, error) {
-	k := planKey{qft: w.Kind == arch.KindQFT, bits: w.Bits}
+	k := planKey{kernel: w.Kernel(), bits: w.Bits}
 	built := false
 	p, err := c.plans.Do(k, func() (*arch.WorkloadPlan, error) {
 		built = true
@@ -130,6 +131,30 @@ func (c *evalCache) compile(ctx context.Context, m *arch.Machine, w arch.Workloa
 	count(c.compiledHits, c.compiledMisses, built)
 	if cw.Machine() != m {
 		return m.CompileWith(w, p)
+	}
+	return cw, nil
+}
+
+// compileWith binds a caller-supplied prebuilt plan (a custom circuit from
+// arch.PlanCircuit) to m, sharing the compiled tier with registry kernels.
+// The plan tier is seeded with the plan so later lookups of the same
+// kernel hit instead of failing to rebuild a custom circuit.
+func (c *evalCache) compileWith(m *arch.Machine, plan *arch.WorkloadPlan) (*arch.CompiledWorkload, error) {
+	w := plan.Workload()
+	c.plans.Do(planKey{kernel: plan.Kernel(), bits: plan.Bits()}, func() (*arch.WorkloadPlan, error) {
+		return plan, nil
+	})
+	built := false
+	cw, err := c.compiled.Do(compiledKey{cfg: m.Config(), w: w}, func() (*arch.CompiledWorkload, error) {
+		built = true
+		return m.CompileWith(w, plan)
+	})
+	if err != nil {
+		return nil, err
+	}
+	count(c.compiledHits, c.compiledMisses, built)
+	if cw.Machine() != m {
+		return m.CompileWith(w, plan)
 	}
 	return cw, nil
 }
@@ -172,4 +197,26 @@ func (in In) EvaluateOn(ctx context.Context, m *arch.Machine, w arch.Workload, e
 // (`cqla sweep <name> -engine analytic|des`).
 func (in In) Evaluate(ctx context.Context, m *arch.Machine, w arch.Workload) (arch.Result, error) {
 	return in.EvaluateOn(ctx, m, w, in.Engine)
+}
+
+// EvaluatePlan routes a prebuilt workload plan — a custom circuit compiled
+// once with arch.PlanCircuit — through the sweep's engine on m, sharing
+// the per-sweep compiled-binding cache when the runner provided one.
+func (in In) EvaluatePlan(ctx context.Context, m *arch.Machine, plan *arch.WorkloadPlan) (arch.Result, error) {
+	eng, err := m.Engine(in.Engine)
+	if err != nil {
+		return arch.Result{}, err
+	}
+	_, sp := obs.StartSpan(ctx, "plan-compile")
+	var cw *arch.CompiledWorkload
+	if in.cache != nil {
+		cw, err = in.cache.compileWith(m, plan)
+	} else {
+		cw, err = m.CompileWith(plan.Workload(), plan)
+	}
+	sp.End()
+	if err != nil {
+		return arch.Result{}, err
+	}
+	return eng.EvaluateCompiled(ctx, cw)
 }

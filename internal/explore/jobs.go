@@ -55,14 +55,18 @@ type JobSpec struct {
 	// Parallel is the runner's worker count. It is deliberately excluded
 	// from Key: output is byte-identical at any parallelism.
 	Parallel int
+	// Circuit is the text-format source of a custom-circuit run, empty for
+	// registry sweeps. It is part of Key: two different circuits share the
+	// sweep name "circuit" and must never alias in the result cache.
+	Circuit string
 }
 
 // Key returns the spec's content address: a digest of every input the
 // report document depends on, including the envelope schema version so a
 // schema bump can never serve stale documents.
 func (s JobSpec) Key() string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d\x1f%s\x1f%s\x1f%d\x1f%s",
-		arch.SchemaVersion, s.Sweep, s.Phys.Name, s.Seed, s.Engine)))
+	sum := sha256.Sum256([]byte(fmt.Sprintf("v%d\x1f%s\x1f%s\x1f%d\x1f%s\x1f%s",
+		arch.SchemaVersion, s.Sweep, s.Phys.Name, s.Seed, s.Engine, s.Circuit)))
 	return hex.EncodeToString(sum[:12])
 }
 

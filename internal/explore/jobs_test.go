@@ -507,10 +507,11 @@ func TestJobSpecKey(t *testing.T) {
 		t.Error("Parallel changed the key; outputs are parallelism-independent")
 	}
 	for name, mut := range map[string]func(*explore.JobSpec){
-		"sweep":  func(s *explore.JobSpec) { s.Sweep = "table5" },
-		"phys":   func(s *explore.JobSpec) { s.Phys = phys.Current() },
-		"seed":   func(s *explore.JobSpec) { s.Seed = 2 },
-		"engine": func(s *explore.JobSpec) { s.Engine = "des" },
+		"sweep":   func(s *explore.JobSpec) { s.Sweep = "table5" },
+		"phys":    func(s *explore.JobSpec) { s.Phys = phys.Current() },
+		"seed":    func(s *explore.JobSpec) { s.Seed = 2 },
+		"engine":  func(s *explore.JobSpec) { s.Engine = "des" },
+		"circuit": func(s *explore.JobSpec) { s.Circuit = "qubits 1\nh 0\n" },
 	} {
 		changed := base
 		mut(&changed)

@@ -110,6 +110,9 @@ func Register(e *Experiment) {
 	if e.Name != strings.ToLower(e.Name) {
 		panic(fmt.Sprintf("explore: experiment name %q must be lower-case (Lookup is case-insensitive)", e.Name))
 	}
+	if e.Name == "circuit" {
+		panic(`explore: the name "circuit" is reserved for custom-circuit runs (CircuitExperiment)`)
+	}
 	registry.Lock()
 	defer registry.Unlock()
 	if _, dup := registry.m[e.Name]; dup {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/circuit"
 	"repro/internal/obs"
 	"repro/internal/phys"
 )
@@ -30,12 +31,15 @@ import (
 // The run request body is optional JSON:
 //
 //	{"phys": "projected"|"current", "seed": 1, "parallel": 0,
-//	 "engine": "analytic"|"des", "async": false}
+//	 "engine": "analytic"|"des", "async": false, "circuit": ""}
 //
-// Every field defaults like the CLI flags. Runs are jobs: identical
-// requests — same (sweep, phys, seed, engine) at any parallelism —
-// coalesce onto one evaluation and repeat ones are served from the result
-// cache (the X-Cache header says which). A synchronous run streams the
+// Every field defaults like the CLI flags. The circuit field carries a
+// custom circuit in the text format of docs/workload-format.md and is
+// valid only on POST /v1/sweeps/circuit:run, which evaluates it across
+// block budgets exactly like `cqla sweep -circuit file.qc`. Runs are
+// jobs: identical requests — same (sweep, phys, seed, engine, circuit)
+// at any parallelism — coalesce onto one evaluation and repeat ones are
+// served from the result cache (the X-Cache header says which). A synchronous run streams the
 // finished document; an async one returns 202 with a job id to poll.
 // Jobs run detached from the request context, so a disconnecting client
 // no longer wastes the computation: the result still lands in the cache.
@@ -188,7 +192,17 @@ type runRequest struct {
 	// Async makes the endpoint return 202 with a job id immediately
 	// instead of streaming the finished document.
 	Async bool `json:"async"`
+	// Circuit is a custom circuit in the text format, evaluated across
+	// block budgets. Valid only on the "circuit" operation; every other
+	// sweep's output is fully determined without it.
+	Circuit string `json:"circuit"`
 }
+
+// circuitSweepName is the reserved operation name for custom-circuit runs:
+// POST /v1/sweeps/circuit:run with a non-empty circuit body field. Register
+// panics on registry names that would collide (CircuitExperiment is never
+// registered), so Lookup can only fail for it.
+const circuitSweepName = "circuit"
 
 func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) {
 	op := r.PathValue("op")
@@ -197,11 +211,8 @@ func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown operation %q (want {name}:run)", op))
 		return
 	}
-	exp, err := Lookup(name) // case-insensitive, matching the CLI
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
+	// The body is decoded before the name resolves: the circuit operation
+	// has no registry entry — its experiment is built from the body.
 	req := runRequest{Phys: "projected", Seed: 1}
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	dec := json.NewDecoder(body)
@@ -216,6 +227,35 @@ func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) {
 		// is a malformed request, not ignorable padding.
 		writeError(w, http.StatusBadRequest, fmt.Errorf("trailing data after request body"))
 		return
+	}
+	var exp *Experiment
+	switch {
+	case strings.EqualFold(name, circuitSweepName):
+		if req.Circuit == "" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("the %s operation requires a circuit field (text format, see docs/workload-format.md)", circuitSweepName))
+			return
+		}
+		c, err := circuit.ParseString(req.Circuit)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad circuit: %w", err))
+			return
+		}
+		if exp, err = CircuitExperiment("request", c); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad circuit: %w", err))
+			return
+		}
+	case req.Circuit != "":
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("the circuit field is only valid on the %s operation, not %q", circuitSweepName, name))
+		return
+	default:
+		var err error
+		exp, err = Lookup(name) // case-insensitive, matching the CLI
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
 	}
 	p, err := physByName(req.Phys)
 	if err != nil {
@@ -232,6 +272,7 @@ func (s *Server) handleRunSweep(w http.ResponseWriter, r *http.Request) {
 		Seed:     req.Seed,
 		Engine:   engine,
 		Parallel: req.Parallel,
+		Circuit:  req.Circuit,
 	})
 	if err != nil {
 		status := http.StatusInternalServerError

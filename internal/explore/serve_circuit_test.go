@@ -1,0 +1,104 @@
+package explore_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// bellSource is a tiny valid circuit in the text format, small enough that
+// the circuit operation's block-budget sweep stays fast under -race.
+const bellSource = "qubits 2\nh 0\ncnot 0 1\nmeasure 0\nmeasure 1\n"
+
+func circuitBody(t *testing.T, source string, extra map[string]any) string {
+	t.Helper()
+	m := map[string]any{"circuit": source}
+	for k, v := range extra {
+		m[k] = v
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeCircuitRun: POST /v1/sweeps/circuit:run evaluates the inline
+// circuit, repeats are cache hits, and a different circuit is a different
+// cache key even though both share the sweep name "circuit".
+func TestServeCircuitRun(t *testing.T) {
+	srv, _ := newJobsServer(t)
+
+	resp1, doc1 := postRun(t, srv, "circuit", circuitBody(t, bellSource, nil))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("circuit run: %s (%s)", resp1.Status, doc1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first circuit run X-Cache = %q, want miss", got)
+	}
+	var rep struct {
+		Experiment string `json:"experiment"`
+		Points     []struct {
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(doc1, &rep); err != nil {
+		t.Fatalf("circuit run document is not a report: %v\n%s", err, doc1)
+	}
+	if rep.Experiment != "circuit" {
+		t.Errorf("report experiment = %q, want circuit", rep.Experiment)
+	}
+	if len(rep.Points) == 0 {
+		t.Fatal("circuit run produced no points")
+	}
+	if _, ok := rep.Points[0].Metrics["computation_s"]; !ok {
+		t.Errorf("circuit point lacks computation_s: %v", rep.Points[0].Metrics)
+	}
+
+	resp2, doc2 := postRun(t, srv, "circuit", circuitBody(t, bellSource, nil))
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat circuit run X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(doc1, doc2) {
+		t.Error("repeat circuit run served different bytes")
+	}
+
+	// A different circuit must not alias in the result cache: same sweep
+	// name, different source, different key.
+	other := "qubits 2\nh 0\nh 1\nmeasure 0\nmeasure 1\n"
+	resp3, doc3 := postRun(t, srv, "circuit", circuitBody(t, other, nil))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("second circuit: %s (%s)", resp3.Status, doc3)
+	}
+	if got := resp3.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("different circuit X-Cache = %q, want miss", got)
+	}
+}
+
+// TestServeCircuitValidation: the circuit operation demands a circuit
+// field, rejects malformed sources with the parser's position, and the
+// field is invalid on registry sweeps.
+func TestServeCircuitValidation(t *testing.T) {
+	probeExperiments(t)
+	srv, _ := newJobsServer(t)
+
+	resp, doc := postRun(t, srv, "circuit", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("circuit op without circuit field: %s, want 400 (%s)", resp.Status, doc)
+	}
+
+	resp, doc = postRun(t, srv, "circuit", circuitBody(t, "qubits 2\ncnot 0 7\n", nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range circuit: %s, want 400", resp.Status)
+	}
+	if !strings.Contains(string(doc), "line 2") {
+		t.Errorf("parse failure lost its position: %s", doc)
+	}
+
+	resp, doc = postRun(t, srv, "zprobe", circuitBody(t, bellSource, nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("circuit field on registry sweep: %s, want 400 (%s)", resp.Status, doc)
+	}
+}

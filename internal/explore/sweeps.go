@@ -32,6 +32,8 @@ func init() {
 	Register(overlapSensExp())
 	Register(monteCarloExp())
 	Register(xvalExp())
+	Register(workloadsExp())
+	Register(workloadBlocksExp())
 }
 
 // metricsFrom flattens a Result envelope into sweep metrics after any

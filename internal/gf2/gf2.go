@@ -13,24 +13,42 @@ import (
 )
 
 // Vec is a bit vector over GF(2) with a fixed length.
+//
+// Vectors of at most 64 bits — every vector the stabilizer machinery in
+// internal/ecc touches — live entirely in the inline word: constructing,
+// copying or returning one never allocates. Wider vectors spill into a
+// heap-backed word slice.
+//
+// The small-vector representation makes mutation methods (Set, Flip, Xor,
+// And) pointer-receiver methods: a value copy of a small vector is an
+// independent vector, so mutating a copy could never write back. Wide
+// vectors share their backing slice across value copies; treat copies as
+// read-only views and use Clone for an independent wide vector.
 type Vec struct {
-	n     int
-	words []uint64
+	n    int
+	word uint64   // the bits, when n <= 64
+	ext  []uint64 // the packed words, when n > 64; nil otherwise
 }
+
+// small reports whether the vector fits the inline word.
+func (v Vec) small() bool { return v.n <= 64 }
 
 // NewVec returns a zero vector of length n.
 func NewVec(n int) Vec {
 	if n < 0 {
 		panic("gf2: negative vector length")
 	}
-	return Vec{n: n, words: make([]uint64, (n+63)/64)}
+	if n <= 64 {
+		return Vec{n: n}
+	}
+	return Vec{n: n, ext: make([]uint64, (n+63)/64)}
 }
 
 // Word builds a vector of length n (1 <= n <= 64) from the low n bits of w,
 // bit i of the integer becoming bit i of the vector — the inverse of
-// Uint64. It is deliberately tiny so it inlines: a caller that keeps the
-// result on its stack pays no allocation, which is what makes the packed
-// decode fast paths in internal/ecc allocation-free.
+// Uint64. It is deliberately tiny so it inlines and never allocates: the
+// result is one inline word on the caller's stack, which is what keeps the
+// packed decode paths in internal/ecc allocation-free.
 func Word(n int, w uint64) Vec {
 	if n < 1 || n > 64 {
 		panic("gf2: Word length outside [1,64]")
@@ -45,11 +63,10 @@ func Word(n int, w uint64) Vec {
 // w must have no bits set at position n or above, or the resulting vector
 // is corrupt. It exists for proven-safe hot paths (the packed decoders in
 // internal/ecc) whose enclosing functions must stay within the compiler's
-// inlining budget — RawWord's entire job is to be so small that a caller
-// keeping the result on its stack pays no allocation. Everyone else should
-// call Word.
+// inlining budget — RawWord is a two-field struct literal, free to build
+// and free to return. Everyone else should call Word.
 func RawWord(n int, w uint64) Vec {
-	return Vec{n: n, words: []uint64{w}}
+	return Vec{n: n, word: w}
 }
 
 // VecFromBits builds a vector from a slice of 0/1 ints.
@@ -88,49 +105,68 @@ func (v Vec) Bit(i int) bool {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("gf2: bit index %d out of range [0,%d)", i, v.n))
 	}
-	return v.words[i/64]>>(uint(i)%64)&1 == 1
+	if v.small() {
+		return v.word>>uint(i)&1 == 1
+	}
+	return v.ext[i/64]>>(uint(i)%64)&1 == 1
 }
 
 // Set assigns the bit at index i.
-func (v Vec) Set(i int, b bool) {
+func (v *Vec) Set(i int, b bool) {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("gf2: bit index %d out of range [0,%d)", i, v.n))
 	}
 	mask := uint64(1) << (uint(i) % 64)
-	if b {
-		v.words[i/64] |= mask
-	} else {
-		v.words[i/64] &^= mask
+	switch {
+	case v.small() && b:
+		v.word |= mask
+	case v.small():
+		v.word &^= mask
+	case b:
+		v.ext[i/64] |= mask
+	default:
+		v.ext[i/64] &^= mask
 	}
 }
 
 // Flip toggles the bit at index i.
-func (v Vec) Flip(i int) { v.Set(i, !v.Bit(i)) }
+func (v *Vec) Flip(i int) { v.Set(i, !v.Bit(i)) }
 
 // Clone returns an independent copy of v.
 func (v Vec) Clone() Vec {
+	if v.small() {
+		return v // the value copy is already independent
+	}
 	w := NewVec(v.n)
-	copy(w.words, v.words)
+	copy(w.ext, v.ext)
 	return w
 }
 
 // Xor sets v = v XOR u in place; the lengths must match.
-func (v Vec) Xor(u Vec) {
+func (v *Vec) Xor(u Vec) {
 	if v.n != u.n {
 		panic(fmt.Sprintf("gf2: length mismatch %d vs %d", v.n, u.n))
 	}
-	for i := range v.words {
-		v.words[i] ^= u.words[i]
+	if v.small() {
+		v.word ^= u.word
+		return
+	}
+	for i := range v.ext {
+		v.ext[i] ^= u.ext[i]
 	}
 }
 
 // And sets v = v AND u in place; the lengths must match.
-func (v Vec) And(u Vec) {
+func (v *Vec) And(u Vec) {
 	if v.n != u.n {
 		panic(fmt.Sprintf("gf2: length mismatch %d vs %d", v.n, u.n))
 	}
-	for i := range v.words {
-		v.words[i] &= u.words[i]
+	if v.small() {
+		v.word &= u.word
+		return
+	}
+	for i := range v.ext {
+		v.ext[i] &= u.ext[i]
 	}
 }
 
@@ -140,17 +176,23 @@ func (v Vec) Dot(u Vec) bool {
 	if v.n != u.n {
 		panic(fmt.Sprintf("gf2: length mismatch %d vs %d", v.n, u.n))
 	}
+	if v.small() {
+		return popcount(v.word&u.word)%2 == 1
+	}
 	var acc uint64
-	for i := range v.words {
-		acc ^= v.words[i] & u.words[i]
+	for i := range v.ext {
+		acc ^= v.ext[i] & u.ext[i]
 	}
 	return popcount(acc)%2 == 1
 }
 
 // Weight returns the Hamming weight of v.
 func (v Vec) Weight() int {
+	if v.small() {
+		return popcount(v.word)
+	}
 	w := 0
-	for _, word := range v.words {
+	for _, word := range v.ext {
 		w += popcount(word)
 	}
 	return w
@@ -158,7 +200,10 @@ func (v Vec) Weight() int {
 
 // IsZero reports whether every bit of v is zero.
 func (v Vec) IsZero() bool {
-	for _, word := range v.words {
+	if v.small() {
+		return v.word == 0
+	}
+	for _, word := range v.ext {
 		if word != 0 {
 			return false
 		}
@@ -171,8 +216,11 @@ func (v Vec) Equal(u Vec) bool {
 	if v.n != u.n {
 		return false
 	}
-	for i := range v.words {
-		if v.words[i] != u.words[i] {
+	if v.small() {
+		return v.word == u.word
+	}
+	for i := range v.ext {
+		if v.ext[i] != u.ext[i] {
 			return false
 		}
 	}
@@ -197,7 +245,10 @@ func (v Vec) Uint64() uint64 {
 	if v.n == 0 {
 		return 0
 	}
-	w := v.words[0]
+	if !v.small() {
+		return v.ext[0]
+	}
+	w := v.word
 	if v.n < 64 {
 		w &= (uint64(1) << uint(v.n)) - 1
 	}
@@ -281,7 +332,10 @@ func (m *Matrix) Rows() int { return m.rows }
 // Cols returns the number of columns.
 func (m *Matrix) Cols() int { return m.cols }
 
-// Row returns the i-th row vector (shared storage, not a copy).
+// Row returns the i-th row vector. Treat it as read-only: a row of at
+// most 64 columns is an independent value copy (mutations never write
+// back), while a wider row still shares the matrix's storage. Mutate
+// through Matrix.Set instead.
 func (m *Matrix) Row(i int) Vec {
 	if i < 0 || i >= m.rows {
 		panic(fmt.Sprintf("gf2: row index %d out of range [0,%d)", i, m.rows))
@@ -293,7 +347,12 @@ func (m *Matrix) Row(i int) Vec {
 func (m *Matrix) At(i, j int) bool { return m.Row(i).Bit(j) }
 
 // Set assigns the bit at (row i, column j).
-func (m *Matrix) Set(i, j int, b bool) { m.Row(i).Set(j, b) }
+func (m *Matrix) Set(i, j int, b bool) {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("gf2: row index %d out of range [0,%d)", i, m.rows))
+	}
+	m.data[i].Set(j, b)
+}
 
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {

@@ -216,6 +216,48 @@ func init() {
 			}
 		},
 	})
+	// Per-kernel variants of the compile-once/evaluate-many shape (PR 9):
+	// every kernel the workload registry exposes, precompiled once and
+	// replayed through the des event loop at 64 bits on the same 9-block
+	// Bacon-Shor machine as CompileOnceEvalMany. Deliberately outside the
+	// CI gate (GATE_BENCHES pins names exactly); they land in BENCH.json
+	// so per-kernel cost drift stays visible across commits.
+	for _, v := range []struct {
+		suffix string
+		kind   arch.Kind
+		doc    string
+	}{
+		{"QFT", arch.KindQFT, "one des-engine evaluation of a precompiled 64-bit QFT rotation cascade"},
+		{"QFTComm", arch.KindQFTComm, "one des-engine evaluation of a precompiled 64-bit QFT with bit-reversal swaps"},
+		{"ShorStage", arch.KindShorStage, "one des-engine evaluation of a precompiled 64-bit controlled Shor adder stage"},
+	} {
+		w := arch.NewKind(v.kind, 64)
+		mustRegister(Benchmark{
+			Name: "CompileOnceEvalMany" + v.suffix,
+			Doc:  v.doc,
+			F: func(b *B) {
+				m, err := arch.New(arch.WithCodeName("bacon-shor"), arch.WithBlocks(9))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := m.Engine(arch.EngineDES)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cw, err := m.Compile(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.EvaluateCompiled(ctx, cw); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		})
+	}
 	mustRegister(Benchmark{
 		Name: "PublicDecode",
 		Doc:  "one public-API syndrome extraction + table decode, Steane X errors (zero allocations)",

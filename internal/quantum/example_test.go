@@ -1,0 +1,29 @@
+package quantum_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+)
+
+// ExampleState_simulateParsedCircuit runs a circuit written in the text
+// format of docs/workload-format.md through the dense state-vector
+// simulator: a Bell pair whose two measurements always agree. The rng only
+// picks which branch the first measurement collapses into; the second is
+// then fully determined, which is the correlation the example pins.
+func Example_simulateParsedCircuit() {
+	const source = "qubits 2\nh 0\ncnot 0 1\nmeasure 0\nmeasure 1\n"
+	c, err := circuit.ParseString(source)
+	if err != nil {
+		panic(err)
+	}
+	st, err := circuit.Simulate(c, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	outcome, p := st.DominantBasisState()
+	fmt.Printf("qubits agree: %v (probability %.0f)\n", outcome == 0 || outcome == 3, p)
+	// Output:
+	// qubits agree: true (probability 1)
+}

@@ -1,0 +1,183 @@
+// Command linkcheck validates relative links in markdown documents using
+// nothing beyond the standard library. CI's docs job runs it over
+// README.md and docs/; a link to a file that does not exist — or to a
+// heading anchor that no heading in the target generates — fails the
+// build instead of rotting silently.
+//
+// Usage:
+//
+//	go run ./scripts/linkcheck README.md docs
+//
+// Arguments are markdown files or directories (walked for *.md). Only
+// inline links and images are checked; absolute URLs (a scheme prefix)
+// are skipped — this is a repository-consistency check, not a crawler.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches the target of an inline markdown link or image:
+// [text](target) or ![alt](target), with an optional "title".
+var linkPattern = regexp.MustCompile(`\]\(([^()\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingPattern matches an ATX heading line and captures its text.
+var headingPattern = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		found, err := collect(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		files = append(files, found...)
+	}
+	broken := 0
+	for _, f := range files {
+		findings, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, msg := range findings {
+			fmt.Printf("%s\n", msg)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+// collect expands an argument into the markdown files it names.
+func collect(arg string) ([]string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{arg}, nil
+	}
+	var files []string
+	err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// checkFile returns one message per broken relative link in the file.
+func checkFile(file string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(file, target); msg != "" {
+				findings = append(findings, fmt.Sprintf("%s:%d: %s", file, i+1, msg))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// checkTarget validates one link target; the empty string means it is
+// fine (or out of scope, like an absolute URL).
+func checkTarget(file, target string) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return ""
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := file
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(file), path)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	// Anchors are only checkable on markdown targets (or the same file).
+	if !strings.HasSuffix(resolved, ".md") {
+		return ""
+	}
+	ok, err := hasAnchor(resolved, frag)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !ok {
+		return fmt.Sprintf("broken link %q: no heading in %s generates anchor #%s", target, resolved, frag)
+	}
+	return ""
+}
+
+// hasAnchor reports whether any heading in the markdown file slugifies
+// to the given fragment.
+func hasAnchor(file, frag string) (bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingPattern.FindStringSubmatch(line); m != nil {
+			if slugify(m[1]) == frag {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// slugify reduces a heading to its GitHub-style anchor: lower-case,
+// markup and punctuation stripped, spaces to hyphens.
+func slugify(heading string) string {
+	heading = strings.NewReplacer("`", "", "*", "", "_", "").Replace(heading)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
