@@ -317,6 +317,33 @@ func BenchmarkMonteCarloXSeeded(b *testing.B) {
 	b.ReportMetric(float64(r.LogicalFaults), "faults")
 }
 
+// BenchmarkMonteCarloBitSliced is a pinned gate benchmark: the transposed
+// 64-trials-per-decode Monte Carlo engine on the same workload as the
+// scalar BenchmarkMonteCarloXSeeded path (one worker, 20000 trials, seed
+// 42), so the ratio of the two rows is the bit-slicing speedup.
+func BenchmarkMonteCarloBitSliced(b *testing.B) {
+	c := ecc.Steane()
+	var r ecc.MonteCarloResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r = c.MonteCarloXBatchParallel(1e-3, 20000, 42, 1)
+	}
+	b.ReportMetric(float64(r.LogicalFaults), "faults")
+}
+
+// BenchmarkMonteCarloRareEvent is a pinned gate benchmark: the
+// importance-sampled estimator in the deep sub-threshold regime where the
+// naive estimator observes nothing.
+func BenchmarkMonteCarloRareEvent(b *testing.B) {
+	c := ecc.Steane()
+	var r ecc.RareEventResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r = c.MonteCarloXRareParallel(1e-4, 20000, 42, 1)
+	}
+	b.ReportMetric(float64(r.FaultTrials), "fault-trials")
+}
+
 // BenchmarkTransferBatch measures the transfer-network batch model.
 func BenchmarkTransferBatch(b *testing.B) {
 	nw := transfer.NewNetwork(10)

@@ -102,7 +102,7 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		emitSweep(exp, p, "text", arch.EngineAnalytic, 0, 1, false, "")
+		emitSweep(exp, p, "text", arch.EngineAnalytic, "", 0, 1, false, "")
 	}
 }
 
@@ -116,7 +116,7 @@ func runAll(p phys.Params) {
 	}
 	for _, e := range explore.Experiments() {
 		fmt.Printf("==== sweep %s ====\n", e.Name)
-		emitSweep(e, p, "text", arch.EngineAnalytic, 0, 1, false, "")
+		emitSweep(e, p, "text", arch.EngineAnalytic, "", 0, 1, false, "")
 		fmt.Println()
 	}
 }
@@ -127,6 +127,7 @@ func runSweep(args []string, current bool) {
 	fs := flag.NewFlagSet("cqla sweep", flag.ExitOnError)
 	format := fs.String("format", "text", "output format: text, json or csv")
 	engine := fs.String("engine", "analytic", "evaluation engine for machine-backed sweeps: analytic or des")
+	estimator := fs.String("estimator", "naive", "montecarlo estimator: naive (scalar), bitsliced (64-trial batch) or rare (importance sampling + adaptive budget); montecarlo sweep only")
 	parallel := fs.Int("parallel", 0, "worker count (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "base seed for stochastic sweeps")
 	cur := fs.Bool("current", current, "use currently demonstrated ion-trap parameters instead of projected")
@@ -184,11 +185,26 @@ func runSweep(args []string, current bool) {
 		fmt.Fprintf(os.Stderr, "cqla: %v\n", err)
 		os.Exit(2)
 	}
+	// The estimator axis only applies to the montecarlo sweep; a non-default
+	// value swaps in that sweep's estimator-specific evaluator.
+	est := ""
+	if *estimator != "" && *estimator != explore.EstimatorNaive {
+		if name != "montecarlo" {
+			fmt.Fprintf(os.Stderr, "cqla: -estimator applies only to the montecarlo sweep, not %q\n", exp.Name)
+			os.Exit(2)
+		}
+		var err error
+		if exp, err = explore.NewMonteCarloExperiment(*estimator); err != nil {
+			fmt.Fprintf(os.Stderr, "cqla: %v\n", err)
+			os.Exit(2)
+		}
+		est = *estimator
+	}
 	p := phys.Projected()
 	if *cur {
 		p = phys.Current()
 	}
-	emitSweep(exp, p, *format, eng, *parallel, *seed, *progress, *trace)
+	emitSweep(exp, p, *format, eng, est, *parallel, *seed, *progress, *trace)
 }
 
 // runServe handles `cqla serve [flags]`: the registry-driven HTTP API
@@ -425,7 +441,7 @@ func listBenchmarks(w io.Writer) {
 // emitSweep runs one registered experiment through the exploration engine
 // and writes it to stdout in the requested format. A non-empty trace path
 // records every evaluation stage as Chrome trace_event JSON.
-func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, parallel int, seed int64, progress bool, trace string) {
+func emitSweep(exp *explore.Experiment, p phys.Params, format, engine, estimator string, parallel int, seed int64, progress bool, trace string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var tracer *obs.Tracer
@@ -455,7 +471,7 @@ func emitSweep(exp *explore.Experiment, p phys.Params, format, engine string, pa
 		}
 		fmt.Fprintf(os.Stderr, "cqla: wrote %d spans to %s\n", tracer.Len(), trace)
 	}
-	r := &explore.Report{Experiment: exp, Phys: p.Name, Seed: seed, Engine: engine, Points: pts}
+	r := &explore.Report{Experiment: exp, Phys: p.Name, Seed: seed, Engine: engine, Estimator: estimator, Points: pts}
 	if err := r.Emit(os.Stdout, format); err != nil {
 		log.Fatalf("cqla: emit %s: %v", exp.Name, err)
 	}

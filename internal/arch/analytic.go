@@ -44,6 +44,19 @@ func (e analyticEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorklo
 	return e.planMetrics(cw.w, cw.plan), nil
 }
 
+// EvaluateCompiledInto is EvaluateCompiled writing into out. The closed
+// forms are microseconds per call, so the analytic engine keeps the simple
+// allocate-per-call evaluation underneath; the method exists so both
+// engines satisfy the same compiled hot-loop interface.
+func (e analyticEngine) EvaluateCompiledInto(ctx context.Context, cw *CompiledWorkload, out *Result) error {
+	res, err := e.EvaluateCompiled(ctx, cw)
+	if err != nil {
+		return err
+	}
+	*out = res
+	return nil
+}
+
 // planMetrics costs a compiled plan with the closed-form schedule model:
 // the list-scheduled makespan at the machine's block budget, priced at the
 // level-2 error-correction slot time, bracketed by the serial and

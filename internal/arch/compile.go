@@ -2,11 +2,13 @@ package arch
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cqla"
 	"repro/internal/des"
+	"repro/internal/gen"
 	"repro/internal/memo"
 	"repro/internal/sched"
 )
@@ -139,12 +141,40 @@ func (p *WorkloadPlan) makespan(blocks int) int {
 // description. Compiling once and evaluating many times is the intended
 // hot-loop shape — Engine.EvaluateCompiled skips every per-evaluation
 // setup cost (circuit generation, DAG construction, scheduling already
-// memoized in the plan).
+// memoized in the plan), and Engine.EvaluateCompiledInto additionally
+// reuses the caller's result buffers and a pooled simulation arena, so a
+// steady-state des evaluation performs no allocations at all.
 type CompiledWorkload struct {
 	m      *Machine
 	w      Workload
 	plan   *WorkloadPlan
 	desCfg des.Config
+
+	// runners pools des.Runner arenas for this (DAG, config) pair so
+	// concurrent evaluations each replay the event loop on a private,
+	// allocation-free arena. Seeded eagerly by CompileWith, which also
+	// validates the derived simulator config at compile time.
+	runners sync.Pool
+
+	// Modular-exponentiation constants for the adder/modexp metric decode,
+	// precomputed so the evaluation hot loop never rebuilds gen.ModExp.
+	adderQubits      int
+	adderCalls       int
+	concurrentAdders int
+}
+
+// runner takes a simulation arena from the pool, building a fresh one when
+// the pool is empty. The config was validated when CompileWith seeded the
+// pool, so construction here cannot fail.
+func (cw *CompiledWorkload) runner() *des.Runner {
+	if r, ok := cw.runners.Get().(*des.Runner); ok {
+		return r
+	}
+	r, err := des.NewRunner(cw.plan.DAG(), cw.desCfg)
+	if err != nil {
+		panic("arch: compiled workload holds an invalid simulator config: " + err.Error())
+	}
+	return r
 }
 
 // Machine returns the machine the workload was compiled for.
@@ -193,7 +223,21 @@ func (m *Machine) CompileWith(w Workload, plan *WorkloadPlan) (*CompiledWorkload
 	if plan.adder != nil {
 		m.cq.UseAdderPlan(plan.adder)
 	}
-	return &CompiledWorkload{m: m, w: w, plan: plan, desCfg: m.desConfig()}, nil
+	cw := &CompiledWorkload{m: m, w: w, plan: plan, desCfg: m.desConfig()}
+	// Building the first pooled arena now surfaces an invalid derived
+	// simulator config at compile time instead of mid-evaluation.
+	r, err := des.NewRunner(plan.DAG(), cw.desCfg)
+	if err != nil {
+		return nil, fmt.Errorf("arch: workload %s/%d bits: %w", w.Kind, w.Bits, err)
+	}
+	cw.runners.Put(r)
+	if w.Kind == KindAdder || w.Kind == KindModExp {
+		me := gen.NewModExp(w.Bits)
+		cw.adderQubits = me.LogicalQubits()
+		cw.adderCalls = me.AdderCalls()
+		cw.concurrentAdders = me.ConcurrentAdders()
+	}
+	return cw, nil
 }
 
 // computeOnly returns the compute-only lower bound of the compiled kernel:

@@ -178,3 +178,86 @@ func BenchmarkCompileOnceEvalMany(b *testing.B) {
 		}
 	}
 }
+
+// TestEvaluateCompiledIntoMatches pins the buffer-reusing variant to the
+// allocating one: for both engines and every paper kind, writing into a
+// result whose metric buffer holds stale garbage must produce the exact
+// envelope EvaluateCompiled returns.
+func TestEvaluateCompiledIntoMatches(t *testing.T) {
+	ctx := context.Background()
+	m, err := arch.New(arch.WithCodeName("bacon-shor"), arch.WithBlocks(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []arch.Workload{
+		arch.NewAdder(32, false),
+		arch.NewModExp(32),
+		arch.NewQFT(16),
+	}
+	for _, engine := range arch.EngineNames() {
+		eng, err := m.Engine(engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One result reused across every workload, so each call must both
+		// overwrite the previous metrics and shrink/grow the buffer.
+		got := arch.Result{Metrics: []arch.Metric{{Name: "stale", Value: -1}}}
+		for _, w := range workloads {
+			cw, err := m.Compile(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := eng.EvaluateCompiled(ctx, cw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.EvaluateCompiledInto(ctx, cw, &got); err != nil {
+				t.Fatalf("%s EvaluateCompiledInto(%s/%d): %v", engine, w.Kind, w.Bits, err)
+			}
+			wj, _ := json.Marshal(want)
+			gj, _ := json.Marshal(got)
+			if string(wj) != string(gj) {
+				t.Errorf("%s %s/%d: Into variant diverges\n want: %s\n got:  %s",
+					engine, w.Kind, w.Bits, wj, gj)
+			}
+		}
+		var sink arch.Result
+		if err := eng.EvaluateCompiledInto(ctx, nil, &sink); err == nil {
+			t.Errorf("%s: EvaluateCompiledInto accepted a nil compile", engine)
+		}
+	}
+}
+
+// TestEvaluateCompiledIntoAllocationFree is the compile-once/evaluate-many
+// allocation contract at the engine level: with the arena pooled at compile
+// time and the metric buffer reused, a steady-state des evaluation of the
+// 64-bit adder performs zero allocations.
+func TestEvaluateCompiledIntoAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool allocates under the race detector; the count means nothing")
+	}
+	m, err := arch.New(arch.WithCodeName("bacon-shor"), arch.WithBlocks(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := m.Engine(arch.EngineDES)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := m.Compile(arch.NewAdder(64, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var res arch.Result
+	if err := eng.EvaluateCompiledInto(ctx, cw, &res); err != nil { // warm buffers
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if err := eng.EvaluateCompiledInto(ctx, cw, &res); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state EvaluateCompiledInto allocates %.1f times per run, want 0", avg)
+	}
+}

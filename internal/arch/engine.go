@@ -21,6 +21,10 @@ type Engine interface {
 	// the same workload; the compiled input must belong to this engine's
 	// machine.
 	EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (Result, error)
+	// EvaluateCompiledInto is EvaluateCompiled writing into out, reusing
+	// out's metric buffer. On the des engine a steady-state call performs
+	// no allocations; out's previous contents are fully overwritten.
+	EvaluateCompiledInto(ctx context.Context, cw *CompiledWorkload, out *Result) error
 }
 
 // errForeignCompile rejects a compiled workload bound to another machine:

@@ -1,0 +1,9 @@
+//go:build race
+
+package arch_test
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions are skipped under it: the race runtime
+// allocates on sync.Pool operations, so AllocsPerRun measures the
+// instrumentation, not the code.
+const raceEnabled = true

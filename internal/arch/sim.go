@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/cqla"
 	"repro/internal/des"
-	"repro/internal/gen"
 	"repro/internal/obs"
 )
 
@@ -57,12 +56,15 @@ func (m *Machine) desConfig() des.Config {
 // simulate runs the compiled kernel once and returns its stats plus the
 // compute-only lower bound (the list-scheduled makespan at the same block
 // count, with communication free), which anchors the communication-hidden
-// metric. All setup — circuit generation, DAG construction, scheduling —
-// happened at compile time, so repeated evaluations pay only the event
-// loop.
+// metric. All setup — circuit generation, DAG construction, scheduling,
+// and now the simulation arena itself — happened at compile time, so
+// repeated evaluations pay only the event loop: the run replays on a
+// pooled des.Runner and allocates nothing.
 func (e simEngine) simulate(ctx context.Context, cw *CompiledWorkload) (des.Stats, time.Duration, error) {
 	_, sp := obs.StartSpan(ctx, "sim-run")
-	stats, err := des.RunDAG(ctx, cw.plan.DAG(), cw.desCfg)
+	r := cw.runner()
+	stats, err := r.Run(ctx)
+	cw.runners.Put(r)
 	sp.End()
 	if err != nil {
 		return des.Stats{}, 0, err
@@ -70,18 +72,18 @@ func (e simEngine) simulate(ctx context.Context, cw *CompiledWorkload) (des.Stat
 	return stats, cw.computeOnly(), nil
 }
 
-// statMetrics renders the shared simulation measurements.
-func statMetrics(stats des.Stats, computeOnly time.Duration) []Metric {
-	return []Metric{
-		{"makespan_s", stats.Makespan.Seconds()},
-		{"compute_only_s", computeOnly.Seconds()},
-		{"communication_hidden", des.CommunicationHidden(stats, computeOnly)},
-		{"stall_s", stats.StallTime.Seconds()},
-		{"transports", float64(stats.Transports)},
-		{"transport_busy_s", stats.TransportBusy.Seconds()},
-		{"block_utilization", stats.BlockUtilization},
-		{"channel_utilization", stats.ChannelUtilization},
-	}
+// appendStatMetrics appends the shared simulation measurements to dst.
+func appendStatMetrics(dst []Metric, stats des.Stats, computeOnly time.Duration) []Metric {
+	return append(dst,
+		Metric{"makespan_s", stats.Makespan.Seconds()},
+		Metric{"compute_only_s", computeOnly.Seconds()},
+		Metric{"communication_hidden", des.CommunicationHidden(stats, computeOnly)},
+		Metric{"stall_s", stats.StallTime.Seconds()},
+		Metric{"transports", float64(stats.Transports)},
+		Metric{"transport_busy_s", stats.TransportBusy.Seconds()},
+		Metric{"block_utilization", stats.BlockUtilization},
+		Metric{"channel_utilization", stats.ChannelUtilization},
+	)
 }
 
 // Evaluate compiles the workload and runs it once. Callers evaluating the
@@ -101,8 +103,20 @@ func (e simEngine) Evaluate(ctx context.Context, w Workload) (Result, error) {
 }
 
 func (e simEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (Result, error) {
+	var res Result
+	if err := e.EvaluateCompiledInto(ctx, cw, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// EvaluateCompiledInto evaluates a precompiled workload into out, reusing
+// out's metric buffer across calls. With no tracer in ctx, a steady-state
+// evaluation — pooled simulation arena, precompiled DAG, precomputed
+// workload constants, recycled metrics — performs zero allocations.
+func (e simEngine) EvaluateCompiledInto(ctx context.Context, cw *CompiledWorkload, out *Result) error {
 	if cw == nil || cw.m != e.m {
-		return Result{}, errForeignCompile
+		return errForeignCompile
 	}
 	ctx, sp := obs.StartSpan(ctx, "des-eval")
 	defer sp.End()
@@ -115,45 +129,44 @@ func (e simEngine) EvaluateCompiled(ctx context.Context, cw *CompiledWorkload) (
 	// metric decode below differs.
 	stats, computeOnly, err := e.simulate(ctx, cw)
 	if err != nil {
-		return Result{}, err
+		return err
 	}
 	_, dec := obs.StartSpan(ctx, "decode")
 	defer dec.End()
 	cm := e.m.cq
 	n := w.Bits
+	metrics := out.Metrics[:0]
 	switch w.Kind {
 	case KindAdder:
-		q := gen.NewModExp(n).LogicalQubits()
-		metrics := []Metric{
+		metrics = append(metrics,
 			// Area has no dynamic component; the simulator reuses the
 			// closed-form floorplan so its envelope stays comparable.
-			{"area_reduction", cm.AreaReduction(q, w.Hierarchy)},
-			{"sim_speedup", float64(cm.QLAAdderTime(n)) / float64(stats.Makespan)},
-		}
-		metrics = append(metrics, statMetrics(stats, computeOnly)...)
+			Metric{"area_reduction", cm.AreaReduction(cw.adderQubits, w.Hierarchy)},
+			Metric{"sim_speedup", float64(cm.QLAAdderTime(n)) / float64(stats.Makespan)},
+		)
+		metrics = appendStatMetrics(metrics, stats, computeOnly)
 		metrics = append(metrics, Metric{"qla_time_s", cm.QLAAdderTime(n).Seconds()})
-		return e.m.result(EngineDES, w, metrics), nil
 	case KindModExp:
 		// The full modular-exponentiation circuit is out of simulation
 		// reach at paper sizes; simulate its adder kernel and scale by the
 		// sequential adder calls, as the analytic model does.
-		me := gen.NewModExp(n)
-		seq := float64(me.AdderCalls()) / float64(me.ConcurrentAdders())
-		metrics := []Metric{
-			{"computation_s", seq * stats.Makespan.Seconds()},
-			{"adder_makespan_s", stats.Makespan.Seconds()},
-			{"adder_compute_only_s", computeOnly.Seconds()},
-			{"adder_calls", float64(me.AdderCalls())},
-			{"concurrent_adders", float64(me.ConcurrentAdders())},
-			{"communication_hidden", des.CommunicationHidden(stats, computeOnly)},
-			{"stall_s", stats.StallTime.Seconds()},
-			{"transports", float64(stats.Transports)},
-			{"transport_busy_s", stats.TransportBusy.Seconds()},
-			{"block_utilization", stats.BlockUtilization},
-			{"channel_utilization", stats.ChannelUtilization},
-		}
-		return e.m.result(EngineDES, w, metrics), nil
-	default: // KindQFT, by Validate
-		return e.m.result(EngineDES, w, statMetrics(stats, computeOnly)), nil
+		seq := float64(cw.adderCalls) / float64(cw.concurrentAdders)
+		metrics = append(metrics,
+			Metric{"computation_s", seq * stats.Makespan.Seconds()},
+			Metric{"adder_makespan_s", stats.Makespan.Seconds()},
+			Metric{"adder_compute_only_s", computeOnly.Seconds()},
+			Metric{"adder_calls", float64(cw.adderCalls)},
+			Metric{"concurrent_adders", float64(cw.concurrentAdders)},
+			Metric{"communication_hidden", des.CommunicationHidden(stats, computeOnly)},
+			Metric{"stall_s", stats.StallTime.Seconds()},
+			Metric{"transports", float64(stats.Transports)},
+			Metric{"transport_busy_s", stats.TransportBusy.Seconds()},
+			Metric{"block_utilization", stats.BlockUtilization},
+			Metric{"channel_utilization", stats.ChannelUtilization},
+		)
+	default: // KindQFT and custom circuits, by Validate
+		metrics = appendStatMetrics(metrics, stats, computeOnly)
 	}
+	*out = e.m.result(EngineDES, w, metrics)
+	return nil
 }

@@ -205,184 +205,15 @@ func validate(cfg Config) error {
 // RunDAG simulates a circuit whose dependency DAG the caller has already
 // built, avoiding a rebuild when the same DAG also feeds other analyses
 // (the arch des engine schedules the identical DAG for its compute-only
-// lower bound).
+// lower bound). It builds a single-use Runner; callers replaying the same
+// DAG many times should hold a Runner (or a pool of them) and call Run
+// directly, which amortizes the arena to zero steady-state allocations.
 func RunDAG(ctx context.Context, d *circuit.DAG, cfg Config) (Stats, error) {
-	if err := validate(cfg); err != nil {
+	r, err := NewRunner(d, cfg)
+	if err != nil {
 		return Stats{}, err
 	}
-	c := d.Circuit()
-	n := c.Len()
-	nq := c.NumQubits()
-
-	// Staging window: only a bounded number of dependency-ready
-	// instructions hold operand pins at once, which keeps pin pressure
-	// below the residency capacity and guarantees forward progress.
-	winCap := cfg.ResidentQubits/3 - cfg.Blocks
-	if winCap < 1 {
-		winCap = 1
-	}
-
-	remaining := make([]int, n)    // unmet dependencies
-	missing := make([]int, n)      // operands not yet resident (window members)
-	pending := newIntQueue(n)      // dependency-ready, not yet staged
-	window := 0                    // staged instructions currently holding pins
-	fetchQueue := newIntQueue(nq)  // qubits waiting for a channel
-	readyRun := newIntQueue(n)     // staged with all operands resident
-	waiters := make([][]int32, nq) // qubit -> staged instructions awaiting it
-	res := newResidency(cfg.ResidentQubits, nq)
-	// Outstanding events are bounded by busy resources: one evInstrDone per
-	// occupied block plus one evFetchDone per occupied channel, so the
-	// arena never grows past this pre-sized capacity.
-	events := newMinHeap[event](cfg.Blocks+cfg.Channels, eventLess)
-	seq := 0
-	now := time.Duration(0)
-	freeBlocks := cfg.Blocks
-	freeChannels := cfg.Channels
-	stats := Stats{}
-	done := 0
-	lastStallCheck := time.Duration(0)
-	stalledInstrs := 0
-
-	push := func(at time.Duration, kind eventKind, id int) {
-		seq++
-		events.push(event{at: at, kind: kind, id: id, seq: seq})
-	}
-
-	// stage admits pending instructions into the window, pinning their
-	// operands and enqueueing fetches for the missing ones.
-	stage := func() {
-		for window < winCap && pending.len() > 0 {
-			i := pending.pop()
-			window++
-			miss := 0
-			for _, q := range c.Instr(i).Operands() {
-				res.pin(q)
-				if res.contains(q) {
-					res.touch(q)
-					continue
-				}
-				miss++
-				if len(waiters[q]) == 0 {
-					fetchQueue.push(q)
-				}
-				waiters[q] = append(waiters[q], int32(i))
-			}
-			missing[i] = miss
-			if miss == 0 {
-				readyRun.push(i)
-			}
-		}
-	}
-
-	startFetches := func() {
-		for freeChannels > 0 && fetchQueue.len() > 0 {
-			q := fetchQueue.peek()
-			if !res.admit(q) {
-				break // all residents pinned; retried after pins release
-			}
-			fetchQueue.pop()
-			freeChannels--
-			stats.Transports++
-			stats.TransportBusy += cfg.TransportTime
-			push(now+cfg.TransportTime, evFetchDone, q)
-		}
-	}
-
-	startInstrs := func() {
-		for freeBlocks > 0 && readyRun.len() > 0 {
-			i := readyRun.pop()
-			window-- // leaves the staging window; pins persist until done
-			freeBlocks--
-			dur := time.Duration(c.Instr(i).Slots()) * cfg.SlotTime
-			stats.ComputeBusy += dur
-			push(now+dur, evInstrDone, i)
-		}
-	}
-
-	accountStall := func(t time.Duration) {
-		if stalled := stalledInstrs; stalled > 0 && freeBlocks > 0 {
-			win := t - lastStallCheck
-			m := stalled
-			if m > freeBlocks {
-				m = freeBlocks
-			}
-			stats.StallTime += time.Duration(m) * win
-		}
-		lastStallCheck = t
-	}
-
-	pump := func() {
-		// Iterate to a fixed point: staging can unblock fetches, fetch
-		// admission can unblock staging.
-		for {
-			before := fetchQueue.len() + readyRun.len() + pending.len() + freeBlocks + freeChannels
-			stage()
-			startFetches()
-			startInstrs()
-			after := fetchQueue.len() + readyRun.len() + pending.len() + freeBlocks + freeChannels
-			if before == after {
-				return
-			}
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		remaining[i] = len(d.Deps(i))
-		if remaining[i] == 0 {
-			pending.push(i)
-		}
-	}
-	pump()
-	stalledInstrs = pending.len() + window
-
-	loops := 0
-	for events.len() > 0 {
-		if loops++; loops&1023 == 1 {
-			if err := ctx.Err(); err != nil {
-				return Stats{}, err
-			}
-		}
-		ev := events.pop()
-		accountStall(ev.at)
-		now = ev.at
-		switch ev.kind {
-		case evFetchDone:
-			freeChannels++
-			q := ev.id
-			for _, i := range waiters[q] {
-				missing[i]--
-				if missing[i] == 0 {
-					readyRun.push(int(i))
-				}
-			}
-			waiters[q] = waiters[q][:0] // keep the backing array for refetches
-		case evInstrDone:
-			freeBlocks++
-			done++
-			i := ev.id
-			for _, q := range c.Instr(i).Operands() {
-				res.unpin(q)
-			}
-			for _, s := range d.Succs(i) {
-				remaining[s]--
-				if remaining[s] == 0 {
-					pending.push(s)
-				}
-			}
-		}
-		pump()
-		stalledInstrs = pending.len() + window
-		if events.len() == 0 && done < n {
-			return Stats{}, fmt.Errorf("des: deadlock after %d/%d instructions", done, n)
-		}
-	}
-	stats.Makespan = now
-	stats.BlockUtilization = utilization(stats.ComputeBusy, cfg.Blocks, stats.Makespan)
-	stats.ChannelUtilization = utilization(stats.TransportBusy, cfg.Channels, stats.Makespan)
-	if done != n {
-		return Stats{}, fmt.Errorf("des: finished %d of %d instructions", done, n)
-	}
-	return stats, nil
+	return r.Run(ctx)
 }
 
 // utilization returns busy / (units × span) computed entirely in float64:

@@ -1,0 +1,192 @@
+package ecc
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+	"testing"
+)
+
+// transposeLanes loads 64 packed error masks (one trial per element, one bit
+// per qubit) into the transposed frame the batch kernel consumes (one lane
+// per qubit, one trial per bit).
+func transposeLanes(n int, masks *[mcBatchLanes]uint64, lanes *[mcMaxQubits]uint64) {
+	*lanes = [mcMaxQubits]uint64{}
+	for t, e := range masks {
+		for q := 0; q < n; q++ {
+			lanes[q] |= (e >> uint(q) & 1) << uint(t)
+		}
+	}
+}
+
+// TestBatchFaultLanesMatchesScalar is the exhaustive equivalence guarantee
+// of the transposed engine: every one of the 2^N X- and Z-error patterns of
+// both codes, loaded 64 at a time into transposed lanes, must produce
+// exactly the fault bit the scalar bitDecoder assigns it. The bit-sliced
+// rework changed the throughput of the trial loop, not the decoder's
+// meaning.
+func TestBatchFaultLanesMatchesScalar(t *testing.T) {
+	for _, c := range Codes() {
+		for _, side := range []struct {
+			name string
+			d    *bitDecoder
+		}{{"X", &c.bitX}, {"Z", &c.bitZ}} {
+			var masks [mcBatchLanes]uint64
+			var lanes [mcMaxQubits]uint64
+			total := uint64(1) << uint(c.N)
+			for base := uint64(0); base < total; base += mcBatchLanes {
+				for t := range masks {
+					masks[t] = (base + uint64(t)) % total
+				}
+				transposeLanes(c.N, &masks, &lanes)
+				got := side.d.faultLanes(&lanes)
+				for tr, e := range masks {
+					want := side.d.fault(e)
+					if fault := got>>uint(tr)&1 == 1; fault != want {
+						t.Fatalf("%s %s: pattern %0*b: batch says fault=%v, scalar says %v",
+							c.Name, side.name, c.N, e, fault, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBernoulliLanesExact checks the bitwise comparator's edges and its
+// statistical meaning: degenerate probabilities are exact, and for a range
+// of rates spanning four decades the empirical lane frequency over a large
+// draw stays within five standard errors of p. The comparator consumes one
+// stream word per binary digit of p only while trials remain undecided, so
+// small p must not cost more than moderate p.
+func TestBernoulliLanesExact(t *testing.T) {
+	s := mcStream{state: 123}
+	if got := bernoulliLanes(&s, 0); got != 0 {
+		t.Errorf("p=0 produced %064b", got)
+	}
+	if got := bernoulliLanes(&s, 1); got != ^uint64(0) {
+		t.Errorf("p=1 produced %064b", got)
+	}
+	for _, p := range []float64{1e-4, 1e-3, 1e-2, 0.1, 0.5, 0.9} {
+		const words = 40000 // 2.56M samples
+		s := mcStream{state: 0xfeed}
+		ones := 0
+		for i := 0; i < words; i++ {
+			ones += bits.OnesCount64(bernoulliLanes(&s, p))
+		}
+		n := float64(words * 64)
+		se := math.Sqrt(p * (1 - p) / n)
+		if got := float64(ones) / n; math.Abs(got-p) > 5*se {
+			t.Errorf("p=%g: empirical rate %g is %.1f standard errors off",
+				p, got, math.Abs(got-p)/se)
+		}
+	}
+}
+
+// TestMonteCarloBatchMatchesScalarStatistically cross-checks the two
+// engines as estimators: at a well-resolved physical rate their logical-rate
+// estimates must agree within combined counting error. (The engines own
+// different RNG streams, so the counts themselves legitimately differ.)
+func TestMonteCarloBatchMatchesScalarStatistically(t *testing.T) {
+	const (
+		p      = 0.01
+		trials = 400000
+		seed   = 3
+	)
+	for _, c := range Codes() {
+		a := c.MonteCarloXSeeded(p, trials, seed)
+		b := c.MonteCarloXBatch(p, trials, seed)
+		ra, rb := a.LogicalRate(), b.LogicalRate()
+		se := math.Sqrt((ra*(1-ra) + rb*(1-rb)) / trials)
+		if math.Abs(ra-rb) > 6*se {
+			t.Errorf("%s: scalar rate %g vs batch rate %g differ by %.1f standard errors",
+				c.Name, ra, rb, math.Abs(ra-rb)/se)
+		}
+		if b.Trials != trials || b.PhysicalRate != p {
+			t.Errorf("%s: batch result echoes %+v", c.Name, b)
+		}
+	}
+}
+
+// TestMonteCarloBatchParallelDeterminism extends the seeded determinism
+// contract to the batch engine: identical counts at parallelism 1, 4 and
+// NumCPU, over a budget with a ragged 64-trial tail block. CI runs this
+// under -race, which also vets the atomic fan-out.
+func TestMonteCarloBatchParallelDeterminism(t *testing.T) {
+	const (
+		p      = 0.02
+		trials = 3*mcShardTrials + 517
+		seed   = 99
+	)
+	for _, c := range Codes() {
+		workers := []int{1, 4, runtime.NumCPU()}
+		baseX := c.MonteCarloXBatchParallel(p, trials, seed, workers[0])
+		baseZ := c.MonteCarloZBatchParallel(p, trials, seed, workers[0])
+		if baseX.LogicalFaults == 0 {
+			t.Errorf("%s: no faults at p=%g over %d trials; the test is vacuous", c.Name, p, trials)
+		}
+		for _, w := range workers[1:] {
+			if got := c.MonteCarloXBatchParallel(p, trials, seed, w); got != baseX {
+				t.Errorf("%s: X counts differ at %d workers: %+v vs %+v", c.Name, w, got, baseX)
+			}
+			if got := c.MonteCarloZBatchParallel(p, trials, seed, w); got != baseZ {
+				t.Errorf("%s: Z counts differ at %d workers: %+v vs %+v", c.Name, w, got, baseZ)
+			}
+		}
+		if got := c.MonteCarloXBatch(p, trials, seed); got != baseX {
+			t.Errorf("%s: MonteCarloXBatch differs from the 1-worker result: %+v vs %+v", c.Name, got, baseX)
+		}
+	}
+}
+
+// TestMonteCarloBatchSeedSensitivity guards the opposite failure: the seed
+// must steer the block streams.
+func TestMonteCarloBatchSeedSensitivity(t *testing.T) {
+	c := Steane()
+	a := c.MonteCarloXBatch(0.05, 2*mcShardTrials, 1)
+	b := c.MonteCarloXBatch(0.05, 2*mcShardTrials, 2)
+	if a == b {
+		t.Error("different seeds produced identical batch Monte Carlo counts")
+	}
+}
+
+// TestMonteCarloBatchDegenerateBudgets covers the block-layout edges: zero
+// budget, sub-block budgets, exact block and shard multiples. Tail masking
+// must make a 37-trial budget mean exactly 37 trials.
+func TestMonteCarloBatchDegenerateBudgets(t *testing.T) {
+	c := BaconShor()
+	if got := c.MonteCarloXBatch(0.1, 0, 5); got.LogicalFaults != 0 || got.Trials != 0 {
+		t.Errorf("zero budget: %+v", got)
+	}
+	for _, trials := range []int{1, 37, mcBatchLanes, mcBatchLanes + 1, mcShardTrials, 2*mcShardTrials + 63} {
+		a := c.MonteCarloXBatchParallel(0.1, trials, 7, 1)
+		b := c.MonteCarloXBatchParallel(0.1, trials, 7, 3)
+		if a != b {
+			t.Errorf("trials=%d: counts differ across worker counts: %+v vs %+v", trials, a, b)
+		}
+		if a.Trials != trials {
+			t.Errorf("trials=%d: result echoes %d", trials, a.Trials)
+		}
+		if a.LogicalFaults > trials {
+			t.Errorf("trials=%d: %d faults exceed the budget (tail mask broken)", trials, a.LogicalFaults)
+		}
+	}
+	// At p=1 every trial of a distance-3 code faults… only if the all-ones
+	// pattern is a logical fault; pin tail masking directly instead: a
+	// 1-trial budget can contribute at most 1 fault even at p=1.
+	if got := c.MonteCarloXBatch(1, 1, 9); got.LogicalFaults > 1 {
+		t.Errorf("p=1, 1 trial: %d faults", got.LogicalFaults)
+	}
+}
+
+// TestMonteCarloBatchAllocationFree pins the tentpole's steady-state
+// contract: the serial batch path — sampling, syndrome lanes, flip mux,
+// popcount — performs zero allocations.
+func TestMonteCarloBatchAllocationFree(t *testing.T) {
+	for _, c := range Codes() {
+		if avg := testing.AllocsPerRun(50, func() {
+			c.MonteCarloXBatchParallel(0.01, 4096, 21, 1)
+		}); avg != 0 {
+			t.Errorf("%s: batch Monte Carlo allocates %.1f times per run, want 0", c.Name, avg)
+		}
+	}
+}

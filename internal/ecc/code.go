@@ -55,6 +55,19 @@ type bitDecoder struct {
 	table   []uint64 // dense syndrome -> minimum-weight correction mask
 	valid   []bool   // achievable syndromes (the lookup table's domain)
 	logical uint64   // support of the logical operator the residual must commute with
+
+	// flipBits is the whole syndrome->fault-flip function as one bitset:
+	// bit s = parity(table[s] & logical), i.e. whether the correction for
+	// syndrome s flips the error's parity against the logical operator.
+	// With at most mcMaxSyndromeBits rows the function fits one word, and
+	// the bit-sliced batch engine (bitslice.go) evaluates it across 64
+	// trials per operation without touching the table.
+	flipBits uint64
+	// flipWork/flipCompl pick the cheaper minterm evaluation: when more
+	// than half the syndromes flip (Steane: 7 of 8), the engine sums the
+	// minterms of the non-flipping set and complements the result.
+	flipWork  uint64
+	flipCompl bool
 }
 
 func newBitDecoder(h *gf2.Matrix, lookup map[uint64]gf2.Vec, logical gf2.Vec) bitDecoder {
@@ -72,6 +85,17 @@ func newBitDecoder(h *gf2.Matrix, lookup map[uint64]gf2.Vec, logical gf2.Vec) bi
 	for s, cor := range lookup {
 		d.table[s] = cor.Uint64()
 		d.valid[s] = true
+	}
+	if d.batchOK() {
+		for s, cor := range d.table {
+			d.flipBits |= uint64(bits.OnesCount64(cor&d.logical)&1) << uint(s)
+		}
+		domain := ^uint64(0) >> uint(64-len(d.table))
+		d.flipWork = d.flipBits
+		if bits.OnesCount64(d.flipBits) > len(d.table)/2 {
+			d.flipWork = ^d.flipBits & domain
+			d.flipCompl = true
+		}
 	}
 	return d
 }

@@ -1,0 +1,189 @@
+package ecc
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// TestRareParallelDeterminism extends the seeded determinism contract to
+// the importance-sampled estimator: the full result — estimate, standard
+// error and bound included — must be byte-identical at parallelism 1, 4 and
+// NumCPU, because every float is computed once from the merged integer
+// histogram. CI runs this under -race.
+func TestRareParallelDeterminism(t *testing.T) {
+	const (
+		p      = 1e-4
+		trials = 3*mcShardTrials + 517
+		seed   = 99
+	)
+	for _, c := range Codes() {
+		workers := []int{1, 4, runtime.NumCPU()}
+		baseX := c.MonteCarloXRareParallel(p, trials, seed, workers[0])
+		baseZ := c.MonteCarloZRareParallel(p, trials, seed, workers[0])
+		if baseX.FaultTrials == 0 {
+			t.Errorf("%s: no faults at tilt %g over %d trials; the test is vacuous", c.Name, baseX.TiltRate, trials)
+		}
+		for _, w := range workers[1:] {
+			if got := c.MonteCarloXRareParallel(p, trials, seed, w); got != baseX {
+				t.Errorf("%s: X results differ at %d workers: %+v vs %+v", c.Name, w, got, baseX)
+			}
+			if got := c.MonteCarloZRareParallel(p, trials, seed, w); got != baseZ {
+				t.Errorf("%s: Z results differ at %d workers: %+v vs %+v", c.Name, w, got, baseZ)
+			}
+		}
+		if got := c.MonteCarloXRare(p, trials, seed); got != baseX {
+			t.Errorf("%s: MonteCarloXRare differs from the 1-worker result: %+v vs %+v", c.Name, got, baseX)
+		}
+	}
+}
+
+// TestRareUntiltedMatchesBatch pins the estimator's p == q degenerate case:
+// at a rate above the tilt floor the rare estimator samples untilted from
+// the same per-block streams as the batch engine, so its raw fault count
+// must equal MonteCarloXBatch's exactly and its estimate must be the plain
+// fault fraction.
+func TestRareUntiltedMatchesBatch(t *testing.T) {
+	const (
+		p      = 0.05
+		trials = 2*mcShardTrials + 91
+		seed   = 17
+	)
+	for _, c := range Codes() {
+		b := c.MonteCarloXBatch(p, trials, seed)
+		r := c.MonteCarloXRare(p, trials, seed)
+		if r.TiltRate != p {
+			t.Errorf("%s: tilt %g for p=%g above the floor", c.Name, r.TiltRate, p)
+		}
+		if r.FaultTrials != b.LogicalFaults {
+			t.Errorf("%s: untilted rare saw %d faults, batch saw %d", c.Name, r.FaultTrials, b.LogicalFaults)
+		}
+		if want := b.LogicalRate(); r.LogicalRate != want {
+			t.Errorf("%s: untilted rare estimate %g, batch rate %g", c.Name, r.LogicalRate, want)
+		}
+	}
+}
+
+// TestRareUnbiasedAgainstNaive is the statistical heart of the satellite:
+// at a physical rate the naive estimator can resolve, the tilted
+// importance-sampled estimate must agree with the naive estimate within
+// combined counting error. p = 0.01 sits below the tilt floor, so the rare
+// estimator genuinely samples at q = 0.02 and reweights.
+func TestRareUnbiasedAgainstNaive(t *testing.T) {
+	const (
+		p      = 0.01
+		trials = 400000
+		seed   = 8
+	)
+	for _, c := range Codes() {
+		naive := c.MonteCarloXBatch(p, trials, seed)
+		rare := c.MonteCarloXRare(p, trials, seed+1) // independent streams
+		if rare.TiltRate != mcTiltRate {
+			t.Fatalf("%s: expected tilted sampling at %g, got %g", c.Name, mcTiltRate, rare.TiltRate)
+		}
+		nr := naive.LogicalRate()
+		naiveSE := math.Sqrt(nr * (1 - nr) / trials)
+		se := math.Hypot(naiveSE, rare.StdErr)
+		if diff := math.Abs(nr - rare.LogicalRate); diff > 6*se {
+			t.Errorf("%s: naive %g vs importance-sampled %g differ by %.1f combined standard errors",
+				c.Name, nr, rare.LogicalRate, diff/se)
+		}
+		if !rare.Resolved(0.1) {
+			t.Errorf("%s: rare estimator unresolved at p=%g over %d trials: relCI=%g",
+				c.Name, p, trials, rare.RelCI())
+		}
+	}
+}
+
+// TestRareResolvesDeepPoints is the acceptance criterion of the tentpole's
+// statistics layer: at p = 1e-5 — where the naive estimator would need
+// ~10^11 trials — the adaptive rare-event estimator must deliver a relative
+// CI of at most 10% well inside the 1M-trial budget.
+func TestRareResolvesDeepPoints(t *testing.T) {
+	for _, c := range Codes() {
+		pts := c.AdaptiveMonteCarloX([]float64{1e-5}, 42, AdaptiveOptions{Budget: 1000000})
+		r := pts[0].Result
+		if !r.Resolved(0.1) {
+			t.Fatalf("%s: p=1e-5 unresolved after %d trials: relCI=%g", c.Name, r.Trials, r.RelCI())
+		}
+		if r.Trials >= 1000000 {
+			t.Errorf("%s: early stopping never kicked in (%d trials)", c.Name, r.Trials)
+		}
+		// The estimate must sit in the physically sensible range: below the
+		// physical rate (error correction helps at 1e-5) and above zero.
+		if r.LogicalRate <= 0 || r.LogicalRate >= 1e-5 {
+			t.Errorf("%s: implausible logical rate %g at p=1e-5", c.Name, r.LogicalRate)
+		}
+	}
+}
+
+// TestAdaptiveAllocation exercises the global allocator: a mixed sweep
+// must resolve every point within budget, spend more trials on harder
+// points only while they are unresolved, stop early, and allocate
+// identically at any worker count.
+func TestAdaptiveAllocation(t *testing.T) {
+	c := Steane()
+	rates := []float64{3e-3, 1e-4, 1e-5}
+	opt := AdaptiveOptions{Budget: 1000000, Workers: 1}
+	pts := c.AdaptiveMonteCarloX(rates, 7, opt)
+	total := 0
+	for i, pt := range pts {
+		r := pt.Result
+		if pt.PhysicalRate != rates[i] {
+			t.Errorf("point %d echoes rate %g", i, pt.PhysicalRate)
+		}
+		if !r.Resolved(0.1) {
+			t.Errorf("p=%g unresolved: relCI=%g after %d trials", pt.PhysicalRate, r.RelCI(), r.Trials)
+		}
+		if r.Trials%mcBatchLanes != 0 {
+			t.Errorf("p=%g: %d trials is not a whole number of blocks", pt.PhysicalRate, r.Trials)
+		}
+		total += r.Trials
+	}
+	if total > opt.Budget {
+		t.Errorf("allocator overspent: %d > %d", total, opt.Budget)
+	}
+	if total == opt.Budget {
+		t.Error("allocator never stopped early on a fully resolved sweep")
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		opt.Workers = w
+		got := c.AdaptiveMonteCarloX(rates, 7, opt)
+		for i := range got {
+			if got[i] != pts[i] {
+				t.Errorf("workers=%d: point %d differs: %+v vs %+v", w, i, got[i], pts[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveDegenerateInputs covers the allocator's edges: no points, a
+// zero budget smaller than one block, and a seed change steering every
+// stream.
+func TestAdaptiveDegenerateInputs(t *testing.T) {
+	c := BaconShor()
+	if pts := c.AdaptiveMonteCarloX(nil, 1, AdaptiveOptions{}); len(pts) != 0 {
+		t.Errorf("no rates produced %d points", len(pts))
+	}
+	pts := c.AdaptiveMonteCarloX([]float64{1e-3}, 1, AdaptiveOptions{Budget: 63})
+	if got := pts[0].Result.Trials; got != 0 {
+		t.Errorf("sub-block budget spent %d trials", got)
+	}
+	a := c.AdaptiveMonteCarloX([]float64{1e-4}, 1, AdaptiveOptions{Budget: 1 << 17})
+	b := c.AdaptiveMonteCarloX([]float64{1e-4}, 2, AdaptiveOptions{Budget: 1 << 17})
+	if a[0].Result.FaultTrials == b[0].Result.FaultTrials && a[0].Result.LogicalRate == b[0].Result.LogicalRate {
+		t.Error("different seeds produced identical adaptive results")
+	}
+}
+
+// TestRareHistKernelAllocationFree pins the importance-sampling kernel to
+// the same steady-state contract as the plain batch path.
+func TestRareHistKernelAllocationFree(t *testing.T) {
+	for _, c := range Codes() {
+		if avg := testing.AllocsPerRun(50, func() {
+			c.MonteCarloXRareParallel(1e-4, 4096, 21, 1)
+		}); avg != 0 {
+			t.Errorf("%s: rare Monte Carlo allocates %.1f times per run, want 0", c.Name, avg)
+		}
+	}
+}

@@ -24,7 +24,12 @@ type Report struct {
 	// Engine names the arch evaluation engine the sweep ran through
 	// (empty renders as the analytic default).
 	Engine string
-	Points []Point
+	// Estimator names a non-default Monte Carlo estimator the sweep ran
+	// with ("bitsliced", "rare"). Empty — the default naive estimator —
+	// is omitted from every format, so pre-estimator reports stay
+	// byte-identical.
+	Estimator string
+	Points    []Point
 }
 
 // Formats lists the supported emission formats.
@@ -93,6 +98,14 @@ func (r *Report) engineName() string {
 	return r.Engine
 }
 
+// render consults the experiment's cell-override hook for text/CSV output.
+func (r *Report) render(p Point, metric string, v float64) (string, bool) {
+	if r.Experiment.Render == nil {
+		return "", false
+	}
+	return r.Experiment.Render(p, metric, v)
+}
+
 // JSON writes the sweep as a self-describing JSON document sharing the
 // arch.Result envelope conventions (schema_version first, engine echo).
 // The encoding is hand-ordered (params in axis order, metrics in evaluator
@@ -100,8 +113,12 @@ func (r *Report) engineName() string {
 // the runner's parallelism.
 func (r *Report) JSON(w io.Writer) error {
 	b := bufio.NewWriter(w)
-	fmt.Fprintf(b, "{\n  \"schema_version\": %d,\n  \"experiment\": %s,\n  \"title\": %s,\n  \"phys\": %s,\n  \"seed\": %d,\n  \"engine\": %s,\n  \"points\": [",
+	fmt.Fprintf(b, "{\n  \"schema_version\": %d,\n  \"experiment\": %s,\n  \"title\": %s,\n  \"phys\": %s,\n  \"seed\": %d,\n  \"engine\": %s,",
 		arch.SchemaVersion, jsonQuote(r.Experiment.Name), jsonQuote(r.Experiment.Title), jsonQuote(r.Phys), r.Seed, jsonQuote(r.engineName()))
+	if r.Estimator != "" {
+		fmt.Fprintf(b, "\n  \"estimator\": %s,", jsonQuote(r.Estimator))
+	}
+	b.WriteString("\n  \"points\": [")
 	for i, p := range r.Points {
 		if i > 0 {
 			b.WriteString(",")
@@ -152,8 +169,12 @@ func (r *Report) CSV(w io.Writer) error {
 		}
 		for _, name := range metrics {
 			cell := ""
-			if v, err := p.Metric(name); err == nil && !math.IsNaN(v) && !math.IsInf(v, 0) {
-				cell = formatMetric(v)
+			if v, err := p.Metric(name); err == nil {
+				if s, ok := r.render(p, name, v); ok {
+					cell = s
+				} else if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					cell = formatMetric(v)
+				}
 			}
 			row = append(row, cell)
 		}
@@ -185,7 +206,11 @@ func (r *Report) Text(w io.Writer) error {
 		for _, name := range metrics {
 			cell := "-"
 			if v, err := p.Metric(name); err == nil {
-				cell = strconv.FormatFloat(v, 'g', 6, 64)
+				if s, ok := r.render(p, name, v); ok {
+					cell = s
+				} else {
+					cell = strconv.FormatFloat(v, 'g', 6, 64)
+				}
 			}
 			row = append(row, cell)
 		}
@@ -202,8 +227,12 @@ func (r *Report) Text(w io.Writer) error {
 	}
 
 	b := bufio.NewWriter(w)
-	fmt.Fprintf(b, "%s: %s (%s, seed %d, engine %s, %d points)\n",
-		r.Experiment.Name, r.Experiment.Title, r.Phys, r.Seed, r.engineName(), len(r.Points))
+	est := ""
+	if r.Estimator != "" {
+		est = ", estimator " + r.Estimator
+	}
+	fmt.Fprintf(b, "%s: %s (%s, seed %d, engine %s%s, %d points)\n",
+		r.Experiment.Name, r.Experiment.Title, r.Phys, r.Seed, r.engineName(), est, len(r.Points))
 	for _, row := range rows {
 		for i, cell := range row {
 			if i > 0 {

@@ -1,0 +1,163 @@
+package explore_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/obs"
+	"repro/internal/phys"
+)
+
+// estimatorExp builds the montecarlo sweep for one estimator with the
+// trials axis shrunk, so the determinism tests run in milliseconds while
+// exercising exactly the production evaluators.
+func estimatorExp(t *testing.T, estimator string, trials int) *explore.Experiment {
+	t.Helper()
+	exp, err := explore.NewMonteCarloExperiment(estimator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := *exp
+	small.Axes = append([]explore.Axis(nil), exp.Axes...)
+	small.Axes[2] = explore.Ints("trials", trials)
+	return &small
+}
+
+func estimatorJSON(t *testing.T, exp *explore.Experiment, estimator string, parallel int) string {
+	t.Helper()
+	pts, err := explore.Run(context.Background(), exp, explore.Options{
+		Phys:     phys.Projected(),
+		Seed:     7,
+		Parallel: parallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimator
+	if est == explore.EstimatorNaive {
+		est = "" // the CLI omits the default estimator from reports
+	}
+	var b bytes.Buffer
+	r := &explore.Report{Experiment: exp, Phys: "projected", Seed: 7, Estimator: est, Points: pts}
+	if err := r.JSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestEstimatorParallelByteIdentity is the acceptance contract of the
+// estimator axis: for every estimator mode, the same seed produces
+// byte-identical sweep JSON at any -parallel setting.
+func TestEstimatorParallelByteIdentity(t *testing.T) {
+	for _, est := range explore.Estimators() {
+		exp := estimatorExp(t, est, 65536)
+		base := estimatorJSON(t, exp, est, 1)
+		if got := estimatorJSON(t, exp, est, 4); got != base {
+			t.Errorf("%s: sweep JSON differs between -parallel 1 and 4", est)
+		}
+	}
+}
+
+// TestNaiveEstimatorIsRegisteredSweep pins the frozen naive contract: the
+// naive estimator variant is the registered montecarlo sweep, bit for bit.
+func TestNaiveEstimatorIsRegisteredSweep(t *testing.T) {
+	reg, err := explore.Lookup("montecarlo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := *reg
+	small.Axes = append([]explore.Axis(nil), reg.Axes...)
+	small.Axes[2] = explore.Ints("trials", 65536)
+	want := estimatorJSON(t, &small, explore.EstimatorNaive, 1)
+	got := estimatorJSON(t, estimatorExp(t, explore.EstimatorNaive, 65536), explore.EstimatorNaive, 1)
+	if got != want {
+		t.Error("naive estimator variant diverges from the registered montecarlo sweep")
+	}
+	if strings.Contains(want, `"estimator"`) {
+		t.Error("default-estimator report leaked an estimator field into JSON")
+	}
+}
+
+func TestNewMonteCarloExperimentUnknown(t *testing.T) {
+	if _, err := explore.NewMonteCarloExperiment("exact"); err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+}
+
+// TestEstimatorReportErgonomics checks the censoring satellite end to end:
+// unresolved points render as "<bound" in text and CSV while JSON keeps
+// raw values, and non-default reports carry the estimator name.
+func TestEstimatorReportErgonomics(t *testing.T) {
+	// 4096 trials leave every sub-1e-3 point unresolved for the bitsliced
+	// estimator, so the censored rendering must appear.
+	exp := estimatorExp(t, explore.EstimatorBitSliced, 4096)
+	pts, err := explore.Run(context.Background(), exp, explore.Options{Phys: phys.Projected(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &explore.Report{Experiment: exp, Phys: "projected", Seed: 7, Estimator: explore.EstimatorBitSliced, Points: pts}
+	var txt, csv, js bytes.Buffer
+	if err := r.Text(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.JSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "<") {
+		t.Error("text output renders no censored \"<bound\" cell for unresolved points")
+	}
+	if !strings.Contains(csv.String(), "<") {
+		t.Error("CSV output renders no censored \"<bound\" cell for unresolved points")
+	}
+	if !strings.Contains(txt.String(), "estimator bitsliced") {
+		t.Error("text caption omits the estimator")
+	}
+	if strings.Contains(js.String(), "<") {
+		t.Error("JSON output censored a value; machine-readable documents must carry raw metrics")
+	}
+	if !strings.Contains(js.String(), `"estimator": "bitsliced"`) {
+		t.Error("JSON omits the estimator field for a non-default estimator")
+	}
+	if !strings.Contains(js.String(), `"rate_bound"`) || !strings.Contains(js.String(), `"resolved"`) {
+		t.Error("JSON lacks the resolved/rate_bound fields")
+	}
+}
+
+// TestEstimatorObsCounters checks the work accounting: a sweep with a
+// metrics registry records blocks decoded and trials spent, labeled by
+// estimator, and recording changes no output bytes.
+func TestEstimatorObsCounters(t *testing.T) {
+	const trials = 65536
+	exp := estimatorExp(t, explore.EstimatorBitSliced, trials)
+	reg := obs.NewRegistry()
+	pts, err := explore.Run(context.Background(), exp, explore.Options{
+		Phys: phys.Projected(),
+		Seed: 7,
+		Obs:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := exp.Size()
+	if got := reg.CounterVec("cqla_mc_trials_total", "", "estimator").With("bitsliced").Value(); got != uint64(points*trials) {
+		t.Errorf("trials counter = %d, want %d", got, points*trials)
+	}
+	if got := reg.CounterVec("cqla_mc_blocks_total", "", "estimator").With("bitsliced").Value(); got != uint64(points*trials/64) {
+		t.Errorf("blocks counter = %d, want %d", got, points*trials/64)
+	}
+	bare, err := explore.Run(context.Background(), exp, explore.Options{Phys: phys.Projected(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if len(pts[i].Metrics) != len(bare[i].Metrics) || pts[i].MustMetric("logical_rate") != bare[i].MustMetric("logical_rate") {
+			t.Fatalf("point %d differs with observability enabled", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/phys"
 )
 
@@ -24,6 +25,11 @@ type In struct {
 	// ("analytic" or "des"). Machine-backed experiments route their
 	// evaluation through it; experiments with no machine model ignore it.
 	Engine string
+	// Obs, if non-nil, is the run's metrics registry. Evaluators may record
+	// work counters on it (the Monte Carlo estimators count blocks decoded
+	// and trials spent); nil disables recording at zero cost, and sweep
+	// output is byte-identical either way.
+	Obs *obs.Registry
 
 	exp    *Experiment
 	coords []Value
@@ -66,6 +72,13 @@ type Experiment struct {
 	// frontier membership. It may edit points in place and returns the
 	// final set.
 	Post func(pts []Point) []Point
+	// Render, if non-nil, overrides the text/CSV cell for one metric at
+	// one point — e.g. printing an unresolved Monte Carlo rate as
+	// "<bound" instead of a bare number that looks measured. It returns
+	// the replacement cell and true, or false to keep the default numeric
+	// rendering. JSON output never goes through Render: machine-readable
+	// documents carry the raw values.
+	Render func(p Point, metric string, v float64) (string, bool)
 }
 
 // Size returns the number of points in the cartesian product.

@@ -145,6 +145,7 @@ func Run(ctx context.Context, exp *Experiment, opt Options) ([]Point, error) {
 					Phys:   opt.Phys,
 					Seed:   pointSeed(opt.Seed, exp.Name, keys[j]),
 					Engine: engine,
+					Obs:    opt.Obs,
 					exp:    exp,
 					coords: exp.coordsAt(g.rep),
 					cache:  cache,

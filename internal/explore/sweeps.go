@@ -3,6 +3,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/arch"
 	"repro/internal/cache"
@@ -10,8 +11,19 @@ import (
 	"repro/internal/ecc"
 	"repro/internal/gen"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/transfer"
+)
+
+// Montecarlo confidence-interval conventions: the 95% normal quantile for
+// CI metrics and the resolution target (a point is resolved when its 95%
+// CI half-width is within 10% of the estimate). They mirror the ecc
+// package's internal constants so sweep metrics and estimator early
+// stopping agree.
+const (
+	mcCIZ         = 1.96
+	mcTargetRelCI = 0.10
 )
 
 // Built-in experiments: every sweepable table and figure of the CQLA paper
@@ -540,15 +552,97 @@ func xvalExp() *Experiment {
 // worker pool, so its counts are identical whether the point runs on one
 // core or many. `-parallel` therefore changes wall-clock only, even
 // though every evaluation is internally concurrent too.
+// Monte Carlo estimator names for the montecarlo sweep (`cqla sweep
+// montecarlo -estimator ...`). The registered sweep runs the naive
+// estimator; NewMonteCarloExperiment builds the sweep for any of them.
+const (
+	// EstimatorNaive is the PR 5 scalar path: one trial per decode, RNG
+	// stream and output bytes frozen for reproducibility.
+	EstimatorNaive = "naive"
+	// EstimatorBitSliced runs the same experiment on the transposed batch
+	// engine: 64 trials per word operation, an order of magnitude more
+	// trials per second, its own (equally deterministic) RNG streams.
+	EstimatorBitSliced = "bitsliced"
+	// EstimatorRare adds importance sampling and adaptive trial
+	// allocation: the trials axis becomes a per-point budget, and points
+	// the naive estimator cannot resolve report tight confidence
+	// intervals.
+	EstimatorRare = "rare"
+)
+
+// Estimators lists the montecarlo estimator names, default first.
+func Estimators() []string {
+	return []string{EstimatorNaive, EstimatorBitSliced, EstimatorRare}
+}
+
+// NewMonteCarloExperiment returns the montecarlo sweep bound to the named
+// estimator (empty selects naive). All variants share the sweep name and
+// axes — per-point seeds and memoization keys are identical — and differ
+// only in the evaluator, so `-estimator naive` output is byte-identical
+// to the registered sweep's.
+func NewMonteCarloExperiment(estimator string) (*Experiment, error) {
+	switch estimator {
+	case "", EstimatorNaive:
+		return monteCarloExp(), nil
+	case EstimatorBitSliced:
+		return monteCarloBatchExp(), nil
+	case EstimatorRare:
+		return monteCarloRareExp(), nil
+	}
+	return nil, fmt.Errorf("explore: unknown estimator %q (have %v)", estimator, Estimators())
+}
+
+// mcAxes is the shared design space of every montecarlo estimator. The
+// trials axis is an exact trial count for naive and bitsliced and a trial
+// budget for the adaptive rare-event estimator.
+func mcAxes() []Axis {
+	return []Axis{
+		Strings("code", codeNames()...),
+		Floats("physical_rate", 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2),
+		Ints("trials", 1000000),
+	}
+}
+
+// mcRender prints unresolved logical rates as "<bound" in text and CSV
+// output — a bare 0 looks measured when it is only censored. The bound is
+// the evaluator's rate_bound metric when present (bitsliced, rare), or
+// the rule of three recomputed from the trials axis for the frozen naive
+// metric set. Depends on mcAxes ordering: trials is the third axis.
+func mcRender(pt Point, metric string, v float64) (string, bool) {
+	if metric != "logical_rate" {
+		return "", false
+	}
+	if res, err := pt.Metric("resolved"); err != nil || res != 0 {
+		return "", false
+	}
+	bound, err := pt.Metric("rate_bound")
+	if err != nil {
+		bound = 3 / float64(pt.Coords[2].Int())
+	}
+	return "<" + formatMetric(bound), true
+}
+
+// mcRecord counts estimator work on the sweep's metrics registry:
+// transposed 64-trial blocks decoded and trials spent, labeled by
+// estimator. A nil registry records nothing.
+func mcRecord(reg *obs.Registry, estimator string, trials int) {
+	if reg == nil {
+		return
+	}
+	reg.CounterVec("cqla_mc_blocks_total",
+		"Transposed 64-trial Monte Carlo blocks decoded by sweep evaluators.",
+		"estimator").With(estimator).Add(uint64((trials + 63) / 64))
+	reg.CounterVec("cqla_mc_trials_total",
+		"Monte Carlo trials spent by sweep evaluators (budget actually used).",
+		"estimator").With(estimator).Add(uint64(trials))
+}
+
 func monteCarloExp() *Experiment {
 	return &Experiment{
-		Name:  "montecarlo",
-		Title: "Monte Carlo logical X-error rate vs physical rate per code",
-		Axes: []Axis{
-			Strings("code", codeNames()...),
-			Floats("physical_rate", 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2),
-			Ints("trials", 1000000),
-		},
+		Name:   "montecarlo",
+		Title:  "Monte Carlo logical X-error rate vs physical rate per code",
+		Axes:   mcAxes(),
+		Render: mcRender,
 		Eval: func(ctx context.Context, in In) ([]Metric, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -569,11 +663,111 @@ func monteCarloExp() *Experiment {
 			if r.LogicalFaults == 0 {
 				resolved, bound = 0, 3/float64(trials)
 			}
+			// The metric set is frozen: naive output is byte-identical
+			// across releases, which is why the bound is not emitted here.
 			return []Metric{
 				{"logical_rate", logical},
 				{"logical_faults", float64(r.LogicalFaults)},
 				{"suppression_lb", p / bound},
 				{"resolved", resolved},
+			}, nil
+		},
+	}
+}
+
+// monteCarloBatchExp is the montecarlo sweep on the bit-sliced batch
+// engine: the same experiment and determinism contract, roughly an order
+// of magnitude more trials per second, plus explicit confidence-interval
+// metrics the frozen naive set cannot grow.
+func monteCarloBatchExp() *Experiment {
+	return &Experiment{
+		Name:   "montecarlo",
+		Title:  "Monte Carlo logical X-error rate vs physical rate per code",
+		Axes:   mcAxes(),
+		Render: mcRender,
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c, err := arch.CodeByName(in.Str("code"))
+			if err != nil {
+				return nil, err
+			}
+			p := in.Float("physical_rate")
+			trials := in.Int("trials")
+			_, sp := obs.StartSpan(ctx, "mc-bitsliced")
+			r := c.MonteCarloXBatch(p, trials, in.Seed)
+			sp.End()
+			mcRecord(in.Obs, EstimatorBitSliced, trials)
+			logical := r.LogicalRate()
+			se := math.Sqrt(logical * (1 - logical) / float64(trials))
+			relCI := math.Inf(1)
+			if logical > 0 {
+				relCI = mcCIZ * se / logical
+			}
+			resolved, bound := 0.0, logical+mcCIZ*se
+			if relCI <= mcTargetRelCI {
+				resolved = 1
+			}
+			if r.LogicalFaults == 0 {
+				bound = 3 / float64(trials)
+			}
+			return []Metric{
+				{"logical_rate", logical},
+				{"logical_faults", float64(r.LogicalFaults)},
+				{"suppression_lb", p / bound},
+				{"resolved", resolved},
+				{"rate_bound", bound},
+				{"rel_ci_95", relCI},
+			}, nil
+		},
+	}
+}
+
+// monteCarloRareExp is the montecarlo sweep on the importance-sampled
+// adaptive estimator: the trials axis is a per-point budget, sampling is
+// tilted toward a resolvable error rate and reweighted by likelihood
+// ratio, and the estimator stops early once the 95% CI is within 10% of
+// the estimate — resolving operating points (p ≈ 1e-5) that the naive
+// estimator's rule-of-three bound only censors.
+func monteCarloRareExp() *Experiment {
+	return &Experiment{
+		Name:   "montecarlo",
+		Title:  "Monte Carlo logical X-error rate vs physical rate per code",
+		Axes:   mcAxes(),
+		Render: mcRender,
+		Eval: func(ctx context.Context, in In) ([]Metric, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c, err := arch.CodeByName(in.Str("code"))
+			if err != nil {
+				return nil, err
+			}
+			p := in.Float("physical_rate")
+			budget := in.Int("trials")
+			_, sp := obs.StartSpan(ctx, "mc-rare")
+			pts := c.AdaptiveMonteCarloX([]float64{p}, in.Seed, ecc.AdaptiveOptions{
+				Budget:      budget,
+				TargetRelCI: mcTargetRelCI,
+			})
+			sp.End()
+			r := pts[0].Result
+			mcRecord(in.Obs, EstimatorRare, r.Trials)
+			resolved := 0.0
+			if r.Resolved(mcTargetRelCI) {
+				resolved = 1
+			}
+			return []Metric{
+				{"logical_rate", r.LogicalRate},
+				{"stderr", r.StdErr},
+				{"rel_ci_95", r.RelCI()},
+				{"resolved", resolved},
+				{"rate_bound", r.RateBound},
+				{"suppression_lb", p / r.RateBound},
+				{"trials_used", float64(r.Trials)},
+				{"fault_trials", float64(r.FaultTrials)},
+				{"tilt_rate", r.TiltRate},
 			}, nil
 		},
 	}

@@ -26,8 +26,20 @@ func MeasuredFunctions() map[string][]string {
 		},
 		"DES64BitAdder":          {"repro/internal/des.Run"},
 		"DESEventLoop64BitAdder": {"repro/internal/des.RunDAG"},
+		"DESRunnerReuse":         {"repro/internal/des.(*Runner).Run"},
 		"ExplorePareto":          {"repro/internal/explore.Run"},
-		"MonteCarloXSeeded":      {"repro/internal/ecc.(*Code).MonteCarloXSeeded"},
+		// The bit-sliced campaign is certified through its three kernels:
+		// the transposed sampler/decoder, the logical-fault reduction and
+		// the cached Bernoulli lane generator.
+		"MonteCarloBitSliced": {
+			"repro/internal/ecc.(*bitDecoder).sampleBatch",
+			"repro/internal/ecc.(*bitDecoder).faultLanes",
+			"repro/internal/ecc.(*mcProb).lanes",
+		},
+		"MonteCarloRareEvent": {
+			"repro/internal/ecc.(*bitDecoder).sampleBatchHist",
+		},
+		"MonteCarloXSeeded": {"repro/internal/ecc.(*Code).MonteCarloXSeeded"},
 		"MonteCarloXSeededSerial": {
 			"repro/internal/ecc.(*Code).MonteCarloXSeededParallel",
 		},

@@ -259,6 +259,53 @@ func init() {
 		})
 	}
 	mustRegister(Benchmark{
+		Name: "MonteCarloBitSliced",
+		// The same workload as MonteCarloXSeededSerial — one worker, 20000
+		// trials, seed 42 — so the two rows in BENCH.json read directly as
+		// the bit-sliced engine's speedup over the scalar decoder.
+		Doc: "20000 bit-sliced Monte Carlo trials on one worker (64 trials per decode)",
+		F: func(b *B) {
+			c := ecc.Steane()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.MonteCarloXBatchParallel(1e-3, 20000, 42, 1)
+			}
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "MonteCarloRareEvent",
+		Doc:  "20000 importance-sampled Monte Carlo trials at p=1e-4 on one worker",
+		F: func(b *B) {
+			c := ecc.Steane()
+			var r ecc.RareEventResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r = c.MonteCarloXRareParallel(1e-4, 20000, 42, 1)
+			}
+			b.ReportMetric(float64(r.FaultTrials), "fault-trials")
+		},
+	})
+	mustRegister(Benchmark{
+		Name: "DESRunnerReuse",
+		Doc:  "the des event loop replayed on a reused 64-bit adder arena (zero allocations)",
+		F: func(b *B) {
+			d := circuit.BuildDAG(gen.CarryLookahead(64).Circuit)
+			cfg := des.Config{Blocks: 9, Channels: 12, ResidentQubits: 700,
+				SlotTime: 100 * time.Millisecond, TransportTime: 200 * time.Millisecond}
+			r, err := des.NewRunner(d, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	mustRegister(Benchmark{
 		Name: "PublicDecode",
 		Doc:  "one public-API syndrome extraction + table decode, Steane X errors (zero allocations)",
 		F: func(b *B) {

@@ -37,6 +37,10 @@ run go run ./cmd/qcirc parse < internal/circuit/testdata/bell.qc
 run go run ./cmd/cqla sweep -circuit internal/circuit/testdata/bell.qc
 run go run ./cmd/cqla sweep workloads -format json -seed 1
 
+# --- README sweeps section: the montecarlo estimator axis ------------
+run go run ./cmd/cqla sweep montecarlo -estimator bitsliced -seed 7
+run go run ./cmd/cqla sweep montecarlo -estimator rare -format json -seed 7
+
 # --- no broken relative links in the docs ----------------------------
 go run ./scripts/linkcheck README.md docs
 
